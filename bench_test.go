@@ -1,0 +1,534 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+// Each benchmark drives the full pipeline stage behind its artifact at the
+// quick experiment scale (the same shape as the paper's corpus at a
+// fraction of the volume; run cmd/experiments for the full-scale numbers).
+package dualindex
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"dualindex/internal/corpus"
+	"dualindex/internal/disk"
+	"dualindex/internal/experiments"
+	"dualindex/internal/longlist"
+	"dualindex/internal/sim"
+)
+
+var (
+	benchEnvOnce sync.Once
+	benchEnv     *experiments.Env
+	benchEnvErr  error
+)
+
+// env returns a shared quick-scale experiment environment. Policy runs are
+// memoised inside the env, so each benchmark below times its own pipeline
+// stage by constructing what it needs from the shared corpus and bucket
+// trace.
+func env(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchEnvOnce.Do(func() {
+		benchEnv, benchEnvErr = experiments.NewEnv(experiments.QuickParams())
+	})
+	if benchEnvErr != nil {
+		b.Fatal(benchEnvErr)
+	}
+	return benchEnv
+}
+
+// freshDisks runs the compute-disks stage (unmemoised) for one policy.
+func freshDisks(b *testing.B, e *experiments.Env, p longlist.Policy) *sim.DiskResult {
+	b.Helper()
+	r, err := sim.ComputeDisks(e.Trace, sim.DiskConfig{
+		Geometry:     e.Params.Geometry,
+		BlockPosting: e.Params.BlockPosting,
+		Policy:       p,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkTable1Statistics regenerates Table 1: corpus statistics.
+func BenchmarkTable1Statistics(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := e.Table1()
+		if s.TotalPostings == 0 {
+			b.Fatal("empty stats")
+		}
+	}
+}
+
+// BenchmarkTable3BatchUpdate regenerates Table 3: building one batch update
+// (the invert-index stage for one day).
+func BenchmarkTable3BatchUpdate(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(e.Batches[0].Update()) == 0 {
+			b.Fatal("empty update")
+		}
+	}
+}
+
+// BenchmarkFigure1BucketAnimation regenerates Figure 1: the bucket
+// algorithm on a 100-bucket system with per-change sampling of bucket 3.
+func BenchmarkFigure1BucketAnimation(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		samples, err := e.Figure1(3, 2000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(samples) == 0 {
+			b.Fatal("no samples")
+		}
+	}
+}
+
+// BenchmarkFigure7WordFractions regenerates Figure 7: the compute-buckets
+// stage with word categorisation over every batch.
+func BenchmarkFigure7WordFractions(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := sim.ComputeBuckets(e.Batches, sim.ComputeBucketsConfig{
+			Buckets:       e.Params.Buckets,
+			BucketSize:    e.Params.BucketSize,
+			ObserveBucket: -1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tr.Stats) != len(e.Batches) {
+			b.Fatal("missing stats")
+		}
+	}
+}
+
+// benchPolicyCurve is the compute-disks stage for one figure policy: the
+// unit of work behind each curve of Figures 8, 9 and 10.
+func benchPolicyCurve(b *testing.B, p longlist.Policy, metric func(sim.UpdateMetrics) float64) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := freshDisks(b, e, p)
+		if metric(r.PerUpdate[len(r.PerUpdate)-1]) < 0 {
+			b.Fatal("bad metric")
+		}
+	}
+}
+
+// BenchmarkFigure8CumulativeIO regenerates Figure 8 (all five curves).
+func BenchmarkFigure8CumulativeIO(b *testing.B) {
+	for _, p := range experiments.FigureCurvePolicies() {
+		b.Run(p.String(), func(b *testing.B) {
+			benchPolicyCurve(b, p, func(m sim.UpdateMetrics) float64 { return float64(m.CumOps) })
+		})
+	}
+}
+
+// BenchmarkFigure9Utilization regenerates Figure 9.
+func BenchmarkFigure9Utilization(b *testing.B) {
+	for _, p := range experiments.FigureCurvePolicies() {
+		b.Run(p.String(), func(b *testing.B) {
+			benchPolicyCurve(b, p, func(m sim.UpdateMetrics) float64 { return m.Utilization })
+		})
+	}
+}
+
+// BenchmarkFigure10ReadCost regenerates Figure 10.
+func BenchmarkFigure10ReadCost(b *testing.B) {
+	for _, p := range experiments.FigureCurvePolicies() {
+		b.Run(p.String(), func(b *testing.B) {
+			benchPolicyCurve(b, p, func(m sim.UpdateMetrics) float64 { return m.AvgReadsPerList })
+		})
+	}
+}
+
+// BenchmarkTable5NewStyleAlloc regenerates Table 5: the six allocation
+// strategies for the new style.
+func BenchmarkTable5NewStyleAlloc(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := e.Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 6 {
+			b.Fatal("missing rows")
+		}
+	}
+}
+
+// BenchmarkTable6WholeStyleAlloc regenerates Table 6: the nine allocation
+// strategies for the whole style.
+func BenchmarkTable6WholeStyleAlloc(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := e.Table6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 9 {
+			b.Fatal("missing rows")
+		}
+	}
+}
+
+// BenchmarkFigure11ProportionalUtilization regenerates Figure 11: the
+// proportional-constant sweep for the new and whole styles.
+func BenchmarkFigure11ProportionalUtilization(b *testing.B) {
+	e := env(b)
+	ks := experiments.DefaultSweepKs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, style := range []longlist.Style{longlist.StyleNew, longlist.StyleWhole} {
+			pts, err := e.ProportionalSweep(style, ks)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(pts) != len(ks) {
+				b.Fatal("missing points")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure12InPlaceUpdates regenerates Figure 12 (same sweep, the
+// in-place update counter).
+func BenchmarkFigure12InPlaceUpdates(b *testing.B) {
+	e := env(b)
+	ks := experiments.DefaultSweepKs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := e.ProportionalSweep(longlist.StyleNew, ks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pts[len(pts)-1].InPlace == 0 {
+			b.Fatal("no in-place updates")
+		}
+	}
+}
+
+// BenchmarkFigure13CumulativeTime regenerates Figure 13: the exercise-disks
+// stage (timing model with coalescing) for each timed policy.
+func BenchmarkFigure13CumulativeTime(b *testing.B) {
+	e := env(b)
+	for _, p := range experiments.FigureCurvePolicies() {
+		if p.Style == longlist.StyleFill && p.Limit == longlist.LimitZero {
+			continue // omitted in the paper: would not fit on disk
+		}
+		r, err := e.RunPolicy(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(p.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := e.Exercise(r)
+				if res.Total() <= 0 {
+					b.Fatal("no time")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure14TimePerUpdate regenerates Figure 14 (per-update times of
+// the same execution).
+func BenchmarkFigure14TimePerUpdate(b *testing.B) {
+	e := env(b)
+	r, err := e.RunPolicy(longlist.QueryOptimized())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := e.Exercise(r)
+		if len(res.Batches) != len(e.Batches) {
+			b.Fatal("missing batches")
+		}
+	}
+}
+
+// BenchmarkExtDiskSweep regenerates the extension experiment: build time
+// versus disk count and disk generation (including the optical profile).
+func BenchmarkExtDiskSweep(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := e.ExtensionDiskSweep([]int{1, 4}, []disk.Profile{disk.Seagate1993(), disk.Optical1993()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != 4 {
+			b.Fatal("missing points")
+		}
+	}
+}
+
+// BenchmarkExtScaleUp regenerates the extension experiment: the same
+// pipeline at growing database scales.
+func BenchmarkExtScaleUp(b *testing.B) {
+	base := experiments.QuickParams()
+	base.Corpus.Days = 10
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.ExtensionScaleSweep(base, []float64{0.5, 1.0}, longlist.NewRecommended())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pts[1].Ops == 0 {
+			b.Fatal("no ops")
+		}
+	}
+}
+
+// BenchmarkEngineIndexing measures end-to-end indexing throughput of the
+// public engine (documents tokenized, batched and flushed to disk
+// structures), in documents per iteration.
+func BenchmarkEngineIndexing(b *testing.B) {
+	cfg := corpus.DefaultConfig()
+	cfg.Days = 1
+	cfg.DocsPerDay = 200
+	cfg.WordsPerDoc = 40
+	batches, err := corpus.GenerateAll(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	texts := make([]string, 0, len(batches[0].Docs))
+	for _, d := range batches[0].Docs {
+		texts = append(texts, corpus.DocText(d, 0))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := Open(Options{Buckets: 64, BucketSize: 512})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, t := range texts {
+			eng.AddDocument(t)
+		}
+		if _, err := eng.FlushBatch(); err != nil {
+			b.Fatal(err)
+		}
+		eng.Close()
+	}
+}
+
+// BenchmarkEngineBooleanQuery measures boolean query latency against a
+// built index.
+func BenchmarkEngineBooleanQuery(b *testing.B) {
+	eng, err := Open(Options{Buckets: 64, BucketSize: 512})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	cfg := corpus.DefaultConfig()
+	cfg.Days = 3
+	cfg.DocsPerDay = 150
+	cfg.WordsPerDoc = 40
+	batches, err := corpus.GenerateAll(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, batch := range batches {
+		for _, d := range batch.Docs {
+			eng.AddDocument(corpus.DocText(d, batch.Day))
+		}
+		if _, err := eng.FlushBatch(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := fmt.Sprintf("(%s and %s) or %s",
+		corpus.WordString(0), corpus.WordString(5), corpus.WordString(40))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.SearchBoolean(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineVectorQuery measures vector-space query latency (a
+// 100-word document-derived query, the paper's vector workload).
+func BenchmarkEngineVectorQuery(b *testing.B) {
+	eng, err := Open(Options{Buckets: 64, BucketSize: 512})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	cfg := corpus.DefaultConfig()
+	cfg.Days = 2
+	cfg.DocsPerDay = 150
+	cfg.WordsPerDoc = 40
+	batches, err := corpus.GenerateAll(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, batch := range batches {
+		for _, d := range batch.Docs {
+			eng.AddDocument(corpus.DocText(d, batch.Day))
+		}
+		if _, err := eng.FlushBatch(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var query string
+	for w := corpus.WordID(0); w < 100; w++ {
+		query += corpus.WordString(w) + " "
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.SearchVector(query, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtBuddyAblation regenerates the allocator ablation.
+func BenchmarkExtBuddyAblation(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := e.AblationAllocators()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatal("missing rows")
+		}
+	}
+}
+
+// BenchmarkExtAdaptiveAblation regenerates the adaptive-allocation ablation.
+func BenchmarkExtAdaptiveAblation(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := e.AblationAdaptive()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 6 {
+			b.Fatal("missing rows")
+		}
+	}
+}
+
+// BenchmarkExtRebalance regenerates the bucket-rebalancing extension.
+func BenchmarkExtRebalance(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := e.ExtensionRebalance(0.85)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != 2 {
+			b.Fatal("missing points")
+		}
+	}
+}
+
+// BenchmarkExtQueryWorkloads regenerates the boolean-vs-vector workload
+// study.
+func BenchmarkExtQueryWorkloads(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := e.QueryWorkloads(20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatal("missing rows")
+		}
+	}
+}
+
+// BenchmarkExtCompression regenerates the posting-codec study.
+func BenchmarkExtCompression(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := e.CompressionStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatal("missing rows")
+		}
+	}
+}
+
+// BenchmarkExtQueryTime regenerates the list-read latency study.
+func BenchmarkExtQueryTime(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := e.QueryTimeStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkEnginePhraseQuery measures the positional verification path.
+func BenchmarkEnginePhraseQuery(b *testing.B) {
+	eng, err := Open(Options{KeepDocuments: true, Buckets: 64, BucketSize: 512})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	cfg := corpus.DefaultConfig()
+	cfg.Days = 2
+	cfg.DocsPerDay = 100
+	cfg.WordsPerDoc = 40
+	batches, err := corpus.GenerateAll(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, batch := range batches {
+		for _, d := range batch.Docs {
+			eng.AddDocument(corpus.DocText(d, batch.Day))
+		}
+		if _, err := eng.FlushBatch(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	w1, w2 := corpus.WordString(3), corpus.WordString(9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.SearchNear(w1, w2, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtRebuildBaseline regenerates the reconstruction-vs-incremental
+// motivation comparison.
+func BenchmarkExtRebuildBaseline(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := e.Motivation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatal("missing rows")
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Command indexer incrementally builds a dual-structure index from a corpus
+// directory produced by cmd/newsgen: each day-*.txt file is one batch
+// update, applied in place and checkpointed, exactly the paper's update
+// protocol. Interrupt it at any point and rerun: it resumes from the last
+// completed batch.
+//
+// Usage:
+//
+//	indexer -corpus corpus/ -index idx/ -policy balanced
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"dualindex"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("indexer: ")
+	var (
+		corpusDir = flag.String("corpus", "corpus", "corpus directory (day-*.txt files)")
+		indexDir  = flag.String("index", "idx", "index directory")
+		policy    = flag.String("policy", "balanced", "fast-update | balanced | fast-query | extents")
+		buckets   = flag.Int("buckets", 256, "number of buckets")
+		bsize     = flag.Int("bucketsize", 8192, "bucket size in word+posting units")
+		check     = flag.Bool("check", true, "run the consistency check after the build")
+	)
+	flag.Parse()
+	if err := run(*corpusDir, *indexDir, *policy, *buckets, *bsize, *check); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func policyByName(name string) (dualindex.Policy, error) {
+	switch name {
+	case "fast-update":
+		return dualindex.PolicyFastUpdate, nil
+	case "balanced":
+		return dualindex.PolicyBalanced, nil
+	case "fast-query":
+		return dualindex.PolicyFastQuery, nil
+	case "extents":
+		return dualindex.PolicyExtents, nil
+	}
+	return dualindex.Policy{}, fmt.Errorf("unknown policy %q", name)
+}
+
+func run(corpusDir, indexDir, policyName string, buckets, bucketSize int, check bool) error {
+	pol, err := policyByName(policyName)
+	if err != nil {
+		return err
+	}
+	days, err := filepath.Glob(filepath.Join(corpusDir, "day-*.txt"))
+	if err != nil {
+		return err
+	}
+	if len(days) == 0 {
+		return fmt.Errorf("no day-*.txt files in %s (run cmd/newsgen first)", corpusDir)
+	}
+	sort.Strings(days)
+
+	eng, err := dualindex.Open(dualindex.Options{
+		Dir:        indexDir,
+		Policy:     &pol,
+		Buckets:    buckets,
+		BucketSize: bucketSize,
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+
+	// Resume: skip the batches already applied.
+	done := eng.Stats().Batches
+	if done > 0 {
+		fmt.Printf("resuming after %d completed batches\n", done)
+	}
+	if done > len(days) {
+		done = len(days)
+	}
+	for _, day := range days[done:] {
+		start := time.Now()
+		docs, err := loadDay(day)
+		if err != nil {
+			return err
+		}
+		for _, d := range docs {
+			eng.AddDocument(d)
+		}
+		st, err := eng.FlushBatch()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %5d docs %7d postings %4d evictions  r=%6d w=%6d  %v\n",
+			filepath.Base(day), st.Docs, st.Postings, st.Evictions,
+			st.ReadOps, st.WriteOps, time.Since(start).Round(time.Millisecond))
+	}
+	s := eng.Stats()
+	fmt.Printf("\nindex: %d docs, %d words, %d long lists, %d bucket words\n",
+		s.Docs, s.Words, s.LongLists, s.BucketWords)
+	fmt.Printf("long-list utilization %.2f, avg reads per long list %.2f\n",
+		s.Utilization, s.AvgReadsPerList)
+	if check {
+		if err := eng.CheckConsistency(); err != nil {
+			return fmt.Errorf("consistency check FAILED: %w", err)
+		}
+		fmt.Println("consistency check passed")
+	}
+	return nil
+}
+
+func loadDay(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var docs []string
+	var cur strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "%%" {
+			if cur.Len() > 0 {
+				docs = append(docs, cur.String())
+				cur.Reset()
+			}
+			continue
+		}
+		cur.WriteString(line)
+		cur.WriteString("\n")
+	}
+	if cur.Len() > 0 {
+		docs = append(docs, cur.String())
+	}
+	return docs, sc.Err()
+}

@@ -1,0 +1,123 @@
+// Command search runs queries against an index built by cmd/indexer.
+//
+// Usage:
+//
+//	search -index idx/ "(cat and dog) or mouse"
+//	search -index idx/ -vector -k 10 "words of a query document"
+//	search -index idx/          # interactive: one query per line on stdin
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"dualindex"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("search: ")
+	var (
+		indexDir = flag.String("index", "idx", "index directory")
+		vector   = flag.Bool("vector", false, "vector-space ranking instead of boolean")
+		k        = flag.Int("k", 10, "top-k results for vector queries")
+		phrase   = flag.Bool("phrase", false, "exact phrase query (requires an index built with documents kept)")
+		near     = flag.Int("near", 0, "proximity window: treat the two query words as 'w1 within N words of w2'")
+		docs     = flag.Bool("docs", false, "keep/load stored documents (enables -phrase and -near)")
+	)
+	flag.Parse()
+
+	eng, err := dualindex.Open(dualindex.Options{Dir: *indexDir, KeepDocuments: *docs || *phrase || *near > 0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	if flag.NArg() > 0 {
+		q := strings.Join(flag.Args(), " ")
+		switch {
+		case *phrase:
+			err = runPhrase(eng, q)
+		case *near > 0:
+			err = runNear(eng, flag.Args(), *near)
+		default:
+			err = runQuery(eng, q, *vector, *k)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Println("enter queries, one per line (ctrl-D to exit):")
+	for sc.Scan() {
+		q := strings.TrimSpace(sc.Text())
+		if q == "" {
+			continue
+		}
+		if err := runQuery(eng, q, *vector, *k); err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+}
+
+func runPhrase(eng *dualindex.Engine, q string) error {
+	docs, err := eng.SearchPhrase(q)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("phrase %q: %d documents\n", q, len(docs))
+	for _, d := range docs {
+		fmt.Printf("doc %d\n", d)
+	}
+	return nil
+}
+
+func runNear(eng *dualindex.Engine, words []string, k int) error {
+	if len(words) != 2 {
+		return fmt.Errorf("-near takes exactly two words, got %d", len(words))
+	}
+	docs, err := eng.SearchNear(words[0], words[1], k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%q within %d of %q: %d documents\n", words[0], k, words[1], len(docs))
+	for _, d := range docs {
+		fmt.Printf("doc %d\n", d)
+	}
+	return nil
+}
+
+func runQuery(eng *dualindex.Engine, q string, vector bool, k int) error {
+	start := time.Now()
+	if vector {
+		matches, err := eng.SearchVector(q, k)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d matches in %v\n", len(matches), time.Since(start).Round(time.Microsecond))
+		for i, m := range matches {
+			fmt.Printf("%2d. doc %-8d score %.3f\n", i+1, m.Doc, m.Score)
+		}
+		return nil
+	}
+	docs, err := eng.SearchBoolean(q)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d matching documents in %v\n", len(docs), time.Since(start).Round(time.Microsecond))
+	const maxShown = 20
+	for i, d := range docs {
+		if i == maxShown {
+			fmt.Printf("... and %d more\n", len(docs)-maxShown)
+			break
+		}
+		fmt.Printf("doc %d\n", d)
+	}
+	return nil
+}

@@ -1,0 +1,630 @@
+// Package dualindex is a text-retrieval engine built on the dual-structure
+// inverted index of Tomasic, Garcia-Molina and Shoens, "Incremental Updates
+// of Inverted Lists for Text Document Retrieval" (SIGMOD 1994).
+//
+// Documents are tokenized and buffered in an in-memory inverted index; a
+// batch flush applies them to the on-disk index incrementally, in place:
+// short inverted lists live together in fixed-size buckets, long lists live
+// in chunks governed by a configurable allocation policy, and every flush
+// checkpoints the index so an interrupted build restarts at the last batch
+// boundary. Queries — boolean expressions or vector-space rankings — see
+// both the on-disk index and the still-unflushed batch, and documents can
+// be deleted logically and reclaimed by a background-style sweep.
+//
+// # Quick start
+//
+//	eng, _ := dualindex.Open(dualindex.Options{})
+//	eng.AddDocument("the quick brown fox")
+//	eng.AddDocument("the lazy dog")
+//	eng.FlushBatch()
+//	docs, _ := eng.SearchBoolean("quick and fox")
+package dualindex
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"dualindex/internal/core"
+	"dualindex/internal/disk"
+	"dualindex/internal/docstore"
+	"dualindex/internal/lexer"
+	"dualindex/internal/longlist"
+	"dualindex/internal/postings"
+	"dualindex/internal/query"
+	"dualindex/internal/vocab"
+)
+
+// DocID identifies a document. Identifiers are assigned in arrival order,
+// which is what keeps long lists append-only.
+type DocID = postings.DocID
+
+// Policy selects the long-list allocation policy — the paper's trade-off
+// dial between update speed and query speed.
+type Policy struct {
+	// Style is "new", "fill" or "whole".
+	Style string
+	// InPlace enables in-place updates into reserved space (the paper's
+	// Limit = z).
+	InPlace bool
+	// Alloc is "constant", "block" or "proportional"; K is its constant.
+	// Ignored unless InPlace is set (and for the fill style).
+	Alloc string
+	K     float64
+	// ExtentBlocks is the fill style's extent size e.
+	ExtentBlocks int64
+}
+
+// The paper's bottom-line policies (§5.4).
+var (
+	// PolicyFastUpdate is the update-optimized extreme: sequential writes,
+	// never a read, poor query locality.
+	PolicyFastUpdate = Policy{Style: "new"}
+	// PolicyBalanced is the paper's recommendation when update time matters
+	// but queries must stay reasonable: new style, in-place, proportional
+	// k = 2.0.
+	PolicyBalanced = Policy{Style: "new", InPlace: true, Alloc: "proportional", K: 2.0}
+	// PolicyFastQuery is the query-optimized extreme: every list stays one
+	// contiguous chunk (whole style, proportional k = 1.2).
+	PolicyFastQuery = Policy{Style: "whole", InPlace: true, Alloc: "proportional", K: 1.2}
+	// PolicyExtents bounds the largest contiguous disk region (fill style,
+	// 2-block extents), convenient for disk arrays.
+	PolicyExtents = Policy{Style: "fill", InPlace: true, ExtentBlocks: 2}
+)
+
+func (p Policy) internal() (longlist.Policy, error) {
+	var out longlist.Policy
+	switch p.Style {
+	case "new", "":
+		out.Style = longlist.StyleNew
+	case "fill":
+		out.Style = longlist.StyleFill
+	case "whole":
+		out.Style = longlist.StyleWhole
+	default:
+		return out, fmt.Errorf("dualindex: unknown style %q", p.Style)
+	}
+	if p.InPlace {
+		out.Limit = longlist.LimitZ
+	}
+	switch p.Alloc {
+	case "constant", "":
+		out.Alloc = longlist.AllocConstant
+	case "block":
+		out.Alloc = longlist.AllocBlock
+	case "proportional":
+		out.Alloc = longlist.AllocProportional
+	default:
+		return out, fmt.Errorf("dualindex: unknown allocation strategy %q", p.Alloc)
+	}
+	out.K = p.K
+	out.ExtentBlocks = p.ExtentBlocks
+	out = out.Normalize()
+	return out, out.Validate()
+}
+
+// Options configure an engine. The zero value gives an in-memory engine
+// with the paper's balanced policy and a moderate geometry.
+type Options struct {
+	// Dir persists the index under this directory (one file per simulated
+	// disk plus a vocabulary file). Empty means in-memory.
+	Dir string
+	// Policy defaults to PolicyBalanced.
+	Policy *Policy
+	// Buckets and BucketSize size the short-list structure; zero values get
+	// defaults sized for a few hundred thousand postings.
+	Buckets    int
+	BucketSize int
+	// NumDisks, BlocksPerDisk and BlockSize describe the disk array; zero
+	// values get defaults (4 disks × 256 MB of 4 KiB blocks).
+	NumDisks      int
+	BlocksPerDisk int64
+	BlockSize     int
+	// Lexer tokenization options (zero value = the paper's rules).
+	Lexer lexer.Options
+	// KeepDocuments stores the original document text (in memory, or in
+	// Dir/docs.log for persistent engines), enabling Document retrieval and
+	// the positional query layer (SearchPhrase, SearchNear, SearchInRegion).
+	KeepDocuments bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Policy == nil {
+		p := PolicyBalanced
+		o.Policy = &p
+	}
+	if o.Buckets == 0 {
+		o.Buckets = 256
+	}
+	if o.BucketSize == 0 {
+		o.BucketSize = 4096
+	}
+	if o.NumDisks == 0 {
+		o.NumDisks = 4
+	}
+	if o.BlocksPerDisk == 0 {
+		o.BlocksPerDisk = 65536
+	}
+	if o.BlockSize == 0 {
+		o.BlockSize = 4096
+	}
+	return o
+}
+
+// Engine is a searchable, incrementally updatable document index.
+//
+// Engine is safe for concurrent use: searches proceed under a read lock and
+// run concurrently with each other; document additions, flushes, deletions
+// and sweeps serialise under a write lock. This matches the paper's
+// operational setting — continuous 7×24 service where queries must keep
+// flowing while the index is updated in place.
+type Engine struct {
+	mu    sync.RWMutex
+	opts  Options
+	index *core.Index
+	vocab *vocab.Vocab
+	store disk.BlockStore
+
+	// The in-memory inverted index of documents awaiting a flush; it is
+	// searched together with the on-disk index, as the paper prescribes.
+	pending     map[postings.WordID][]postings.DocID
+	pendingDocs int
+	nextDoc     postings.DocID
+
+	docs   docstore.Store // nil unless Options.KeepDocuments
+	docErr error          // first deferred document-store failure
+}
+
+// Open creates an engine, resuming from Dir's last checkpoint when one
+// exists. Documents added since the last FlushBatch are not part of a
+// checkpoint; re-add them after a crash.
+func Open(opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	pol, err := opts.Policy.internal()
+	if err != nil {
+		return nil, err
+	}
+	var store disk.BlockStore
+	resume := false
+	if opts.Dir == "" {
+		store = disk.NewMemStore(opts.NumDisks, opts.BlockSize)
+	} else {
+		if _, err := os.Stat(filepath.Join(opts.Dir, "disk0.dat")); err == nil {
+			resume = true
+		}
+		fs, err := openFileStore(opts.Dir, opts.NumDisks, opts.BlockSize, resume)
+		if err != nil {
+			return nil, err
+		}
+		store = fs
+	}
+	cfg := core.Config{
+		Buckets:      opts.Buckets,
+		BucketSize:   opts.BucketSize,
+		BlockPosting: int64(opts.BlockSize / longlist.PostingBytes),
+		Geometry: disk.Geometry{
+			NumDisks:      opts.NumDisks,
+			BlocksPerDisk: opts.BlocksPerDisk,
+			BlockSize:     opts.BlockSize,
+		},
+		Policy: pol,
+		Store:  store,
+	}
+	eng := &Engine{
+		opts:    opts,
+		store:   store,
+		vocab:   vocab.New(),
+		pending: make(map[postings.WordID][]postings.DocID),
+	}
+	if resume {
+		eng.index, err = core.Open(cfg)
+		if err == nil {
+			err = eng.loadVocab()
+		}
+	} else {
+		eng.index, err = core.New(cfg)
+	}
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	if opts.KeepDocuments {
+		if opts.Dir == "" {
+			eng.docs = docstore.NewMem()
+		} else {
+			ds, err := docstore.OpenFile(filepath.Join(opts.Dir, "docs.log"))
+			if err != nil {
+				store.Close()
+				return nil, err
+			}
+			eng.docs = ds
+		}
+	}
+	if resume {
+		eng.nextDoc = eng.maxIndexedDoc()
+		if err := eng.recoverPendingDocs(); err != nil {
+			eng.Close()
+			return nil, err
+		}
+	}
+	return eng, nil
+}
+
+// recoverPendingDocs re-ingests documents that reached the document store
+// after the index's last checkpoint: the doc log is written at AddDocument
+// time, so a crash between batches loses no stored document — it reappears
+// in the pending batch, ready for the next flush.
+func (e *Engine) recoverPendingDocs() error {
+	w, ok := e.docs.(docstore.Walker)
+	if !ok || e.docs == nil {
+		return nil
+	}
+	type rec struct {
+		id   postings.DocID
+		text string
+	}
+	var lost []rec
+	if err := w.ForEach(func(id postings.DocID, text string) error {
+		if id > e.nextDoc {
+			lost = append(lost, rec{id, text})
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	sort.Slice(lost, func(i, j int) bool { return lost[i].id < lost[j].id })
+	for _, r := range lost {
+		for _, word := range lexer.Tokenize(r.text, e.opts.Lexer) {
+			w := e.vocab.GetOrAssign(word)
+			e.pending[w] = append(e.pending[w], r.id)
+		}
+		e.pendingDocs++
+		if r.id > e.nextDoc {
+			e.nextDoc = r.id
+		}
+	}
+	return nil
+}
+
+func openFileStore(dir string, disks, blockSize int, resume bool) (disk.BlockStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if !resume {
+		return disk.NewFileStore(dir, disks, blockSize)
+	}
+	// Reopen existing files without truncation.
+	return disk.OpenFileStore(dir, disks, blockSize)
+}
+
+// maxIndexedDoc scans the index for the largest document identifier so new
+// documents continue the sequence after a resume.
+func (e *Engine) maxIndexedDoc() postings.DocID {
+	var max postings.DocID
+	e.index.Buckets().ForEachWord(func(w postings.WordID, _ int) {
+		if l := e.index.Buckets().List(w); l != nil && l.MaxDoc() > max {
+			max = l.MaxDoc()
+		}
+	})
+	for _, w := range e.index.Directory().Words() {
+		if l, err := e.index.GetList(w); err == nil && l.MaxDoc() > max {
+			max = l.MaxDoc()
+		}
+	}
+	return max
+}
+
+// AddDocument tokenizes text and adds it to the pending batch, returning
+// the document's identifier.
+func (e *Engine) AddDocument(text string) DocID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.nextDoc++
+	doc := e.nextDoc
+	for _, word := range lexer.Tokenize(text, e.opts.Lexer) {
+		w := e.vocab.GetOrAssign(word)
+		e.pending[w] = append(e.pending[w], doc)
+	}
+	if e.docs != nil && e.docErr == nil {
+		e.docErr = e.docs.Put(doc, text)
+	}
+	e.pendingDocs++
+	return doc
+}
+
+// PendingDocs reports how many documents await a flush.
+func (e *Engine) PendingDocs() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.pendingDocs
+}
+
+// BatchStats summarises one flushed batch.
+type BatchStats struct {
+	Docs      int
+	Words     int
+	Postings  int64
+	Evictions int
+	ReadOps   int64
+	WriteOps  int64
+}
+
+// FlushBatch applies the pending batch to the on-disk index — the paper's
+// incremental batch update — and checkpoints. A flush with no pending
+// documents is a no-op.
+func (e *Engine) FlushBatch() (BatchStats, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.docErr != nil {
+		return BatchStats{}, fmt.Errorf("dualindex: document store: %w", e.docErr)
+	}
+	if e.pendingDocs == 0 {
+		return BatchStats{}, nil
+	}
+	if e.docs != nil {
+		if err := e.docs.Sync(); err != nil {
+			return BatchStats{}, err
+		}
+	}
+	words := make([]postings.WordID, 0, len(e.pending))
+	for w := range e.pending {
+		words = append(words, w)
+	}
+	sortWordIDs(words)
+	updates := make([]core.WordUpdate, 0, len(words))
+	for _, w := range words {
+		list := postings.FromDocs(e.pending[w])
+		updates = append(updates, core.WordUpdate{Word: w, Count: list.Len(), List: list})
+	}
+	st, err := e.index.ApplyUpdate(updates)
+	if err != nil {
+		return BatchStats{}, err
+	}
+	out := BatchStats{
+		Docs:      e.pendingDocs,
+		Words:     st.Words,
+		Postings:  st.Postings,
+		Evictions: st.Evictions,
+		ReadOps:   st.ReadOps,
+		WriteOps:  st.WriteOps,
+	}
+	e.pending = make(map[postings.WordID][]postings.DocID)
+	e.pendingDocs = 0
+	if e.opts.Dir != "" {
+		if err := e.saveVocab(); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+func sortWordIDs(ws []postings.WordID) {
+	sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+}
+
+// list returns the full current list for a word string: the on-disk (or
+// bucket) list merged with the pending batch, filtered of deleted docs.
+func (e *Engine) list(word string) (*postings.List, error) {
+	w, known := e.vocab.Lookup(word)
+	if !known {
+		return &postings.List{}, nil
+	}
+	indexed, err := e.index.GetList(w)
+	if err != nil {
+		return nil, err
+	}
+	if docs := e.pending[w]; len(docs) > 0 {
+		pendingList := postings.FromDocs(docs).Filter(func(d postings.DocID) bool {
+			return e.index.IsDeleted(d)
+		})
+		indexed = postings.Union(indexed, pendingList)
+	}
+	return indexed, nil
+}
+
+type engineSource struct{ e *Engine }
+
+func (s engineSource) List(word string) (*postings.List, error) { return s.e.list(word) }
+
+// WordsWithPrefix enumerates the vocabulary through its B-tree dictionary,
+// enabling truncation queries.
+func (s engineSource) WordsWithPrefix(prefix string) []string {
+	return s.e.vocab.WordsWithPrefix(prefix)
+}
+
+// SearchBoolean evaluates a boolean query such as "(cat and dog) or mouse"
+// and returns the matching documents in ascending order. Truncation terms
+// ("inver*") expand through the vocabulary's B-tree dictionary. Pending
+// documents are visible.
+func (e *Engine) SearchBoolean(q string) ([]DocID, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	expr, err := query.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	l, err := query.EvalBoolean(expr, engineSource{e})
+	if err != nil {
+		return nil, err
+	}
+	return l.Docs(), nil
+}
+
+// Match is a scored vector-query result.
+type Match = query.Match
+
+// SearchVector ranks documents against the words of text (a document-like
+// query, the paper's vector-space workload) and returns the top k.
+func (e *Engine) SearchVector(text string, k int) ([]Match, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	words := lexer.Tokenize(text, e.opts.Lexer)
+	total := int(e.nextDoc)
+	if total == 0 {
+		total = 1
+	}
+	return query.EvalVector(query.FromDocument(words), engineSource{e}, total, k)
+}
+
+// Delete marks a document deleted; it disappears from results immediately
+// and its postings are reclaimed by Sweep.
+func (e *Engine) Delete(doc DocID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.index.Delete(doc)
+}
+
+// Sweep physically reclaims the postings of deleted documents from the
+// index and, when documents are kept, compacts them out of the document
+// store.
+func (e *Engine) Sweep() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	deleted := make(map[postings.DocID]bool)
+	if c, ok := e.docs.(docstore.Compactor); ok {
+		// Snapshot the filter before the index sweep clears it.
+		for d := postings.DocID(1); d <= e.nextDoc; d++ {
+			if e.index.IsDeleted(d) {
+				deleted[d] = true
+			}
+		}
+		if err := e.index.Sweep(); err != nil {
+			return err
+		}
+		if len(deleted) == 0 {
+			return nil
+		}
+		return c.Compact(func(d postings.DocID) bool { return !deleted[d] })
+	}
+	return e.index.Sweep()
+}
+
+// Stats describes the engine's index state.
+type Stats struct {
+	Docs            int64
+	Words           int
+	Batches         int
+	LongLists       int
+	BucketWords     int
+	Utilization     float64
+	AvgReadsPerList float64
+	ReadOps         int64
+	WriteOps        int64
+	Deleted         int
+}
+
+// Stats reports current index statistics.
+func (e *Engine) Stats() Stats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return Stats{
+		Docs:            int64(e.nextDoc),
+		Words:           e.vocab.Len(),
+		Batches:         e.index.Batches(),
+		LongLists:       e.index.Directory().NumWords(),
+		BucketWords:     e.index.Buckets().TotalWords(),
+		Utilization:     e.index.Directory().Utilization(),
+		AvgReadsPerList: e.index.Directory().AvgReadsPerList(),
+		ReadOps:         e.index.Array().ReadOps(),
+		WriteOps:        e.index.Array().WriteOps(),
+		Deleted:         e.index.DeletedCount(),
+	}
+}
+
+// ReadCost reports how many disk reads a query for word would need — the
+// paper's query-performance metric (1 chunk = 1 read; bucket words are in
+// memory).
+func (e *Engine) ReadCost(word string) int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	w, ok := e.vocab.Lookup(word)
+	if !ok {
+		return 0
+	}
+	return e.index.ReadCost(w)
+}
+
+func (e *Engine) vocabPath() string { return filepath.Join(e.opts.Dir, "vocab.txt") }
+
+func (e *Engine) saveVocab() error {
+	tmp := e.vocabPath() + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := e.vocab.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, e.vocabPath())
+}
+
+func (e *Engine) loadVocab() error {
+	f, err := os.Open(e.vocabPath())
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil // empty index checkpoint with no vocabulary yet
+		}
+		return err
+	}
+	defer f.Close()
+	v, err := vocab.Read(f)
+	if err != nil {
+		return err
+	}
+	e.vocab = v
+	return nil
+}
+
+// Close releases the engine's resources, persisting the vocabulary first
+// for on-disk engines.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var first error
+	if e.opts.Dir != "" {
+		first = e.saveVocab()
+	}
+	if e.docs != nil {
+		if err := e.docs.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := e.store.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// BucketLoadFactor reports how full the short-list bucket space is; when it
+// approaches 1.0, frequent evictions degrade the short/long division and a
+// RebalanceBuckets call is warranted (the paper's §7 maintenance strategy).
+func (e *Engine) BucketLoadFactor() float64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.index.BucketLoadFactor()
+}
+
+// RebalanceBuckets moves every short list into a new bucket space of the
+// given geometry and checkpoints the result. Query answers are unaffected;
+// only the short/long division shifts.
+func (e *Engine) RebalanceBuckets(buckets, bucketSize int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.index.RebalanceBuckets(buckets, bucketSize)
+}
+
+// CheckConsistency verifies the index's structural invariants — the
+// dual-structure property, chunk placement and overlap, block conservation,
+// and (for persistent engines) that every long list decodes cleanly. Run it
+// after reopening an index to validate the checkpoint.
+func (e *Engine) CheckConsistency() error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.index.CheckConsistency()
+}

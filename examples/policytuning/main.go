@@ -1,0 +1,68 @@
+// Policytuning: run the same workload under the paper's four bottom-line
+// policies and print the update-time / query-time / space trade-off each
+// one makes — a live miniature of the paper's Section 5.4.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dualindex"
+	"dualindex/internal/corpus"
+)
+
+func main() {
+	log.SetFlags(0)
+	cfg := corpus.DefaultConfig()
+	cfg.Days = 10
+	cfg.DocsPerDay = 200
+	cfg.WordsPerDoc = 40
+	batches, err := corpus.GenerateAll(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	policies := []struct {
+		name string
+		p    dualindex.Policy
+	}{
+		{"fast-update (new 0)", dualindex.PolicyFastUpdate},
+		{"balanced (new z prop 2.0)", dualindex.PolicyBalanced},
+		{"extents (fill z e=2)", dualindex.PolicyExtents},
+		{"fast-query (whole z prop 1.2)", dualindex.PolicyFastQuery},
+	}
+
+	fmt.Printf("%-30s %10s %10s %8s %10s %10s\n",
+		"policy", "writes", "reads", "util", "reads/list", "wall")
+	for _, pc := range policies {
+		p := pc.p
+		eng, err := dualindex.Open(dualindex.Options{
+			Policy:     &p,
+			Buckets:    128,
+			BucketSize: 1024,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		for _, b := range batches {
+			for _, d := range b.Docs {
+				eng.AddDocument(corpus.DocText(d, b.Day))
+			}
+			if _, err := eng.FlushBatch(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		wall := time.Since(start)
+		s := eng.Stats()
+		fmt.Printf("%-30s %10d %10d %8.2f %10.2f %10v\n",
+			pc.name, s.WriteOps, s.ReadOps, s.Utilization, s.AvgReadsPerList,
+			wall.Round(time.Millisecond))
+		eng.Close()
+	}
+	fmt.Println("\nThe paper's bottom line, visible above:")
+	fmt.Println("  - fast-update never reads but scatters lists (worst reads/list, worst util)")
+	fmt.Println("  - balanced pays ~2x the ops for in-place updates and much better locality")
+	fmt.Println("  - fast-query keeps every list contiguous: reads/list = 1.00, at the highest build cost")
+}

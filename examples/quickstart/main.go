@@ -1,0 +1,72 @@
+// Quickstart: index a handful of documents, search them with boolean and
+// vector queries, delete one, and sweep — the whole public API in a minute.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dualindex"
+)
+
+func main() {
+	log.SetFlags(0)
+	// An in-memory engine with the paper's balanced policy.
+	eng, err := dualindex.Open(dualindex.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	docs := []string{
+		"the inverted list is the underlying index structure for most document retrieval systems",
+		"rebuilding the index is a massive operation but its cost is amortized over multiple days",
+		"in dynamic text databases the latest news articles must be searchable immediately",
+		"long inverted lists are stored in variable length contiguous sequences of disk blocks",
+		"short inverted lists share fixed size buckets and migrate when a bucket overflows",
+	}
+	for i, d := range docs {
+		id := eng.AddDocument(d)
+		fmt.Printf("added doc %d: %.60s...\n", id, d)
+		_ = i
+	}
+
+	// The pending batch is searchable before it reaches disk.
+	hits, err := eng.SearchBoolean("inverted and lists")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npre-flush boolean 'inverted and lists': docs %v\n", hits)
+
+	if _, err := eng.FlushBatch(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("batch flushed to the dual-structure index")
+
+	hits, err = eng.SearchBoolean("(index and rebuilding) or buckets")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("boolean '(index and rebuilding) or buckets': docs %v\n", hits)
+
+	matches, err := eng.SearchVector("searching dynamic news databases", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("vector 'searching dynamic news databases':")
+	for _, m := range matches {
+		fmt.Printf("  doc %d  score %.3f\n", m.Doc, m.Score)
+	}
+
+	// Deletion: filtered immediately, reclaimed by the sweep.
+	eng.Delete(hits[0])
+	after, _ := eng.SearchBoolean("index")
+	fmt.Printf("after deleting doc %d, 'index' matches %v\n", hits[0], after)
+	if err := eng.Sweep(); err != nil {
+		log.Fatal(err)
+	}
+
+	s := eng.Stats()
+	fmt.Printf("\nstats: %d docs, %d words, %d batches, %d bucket words, %d long lists\n",
+		s.Docs, s.Words, s.Batches, s.BucketWords, s.LongLists)
+}

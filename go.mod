@@ -1,0 +1,3 @@
+module dualindex
+
+go 1.22

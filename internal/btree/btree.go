@@ -1,0 +1,315 @@
+// Package btree implements the B+tree dictionary of traditional retrieval
+// systems — the paper notes they "also built a B-tree that maps each word to
+// the locations of its list", and the Cutting–Pedersen system it compares
+// against organises its vocabulary the same way. The tree maps string keys
+// (words) to uint64 values (word identifiers or list locations), keeps keys
+// ordered, and supports the range and prefix scans behind truncation
+// queries ("inver*").
+package btree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// degree is the maximum number of children of an internal node; leaves hold
+// up to degree-1 keys. Sized so a leaf comfortably fits a 4 KiB disk page
+// with typical word lengths.
+const degree = 64
+
+// Tree is a B+tree from string to uint64. The zero value is not usable;
+// call New.
+type Tree struct {
+	root *node
+	size int
+}
+
+// node is a B+tree node. Leaves hold keys and values; internal nodes hold
+// separator keys and children. Leaves are chained for ordered scans.
+type node struct {
+	leaf     bool
+	keys     []string
+	vals     []uint64 // leaves only
+	children []*node  // internal only
+	next     *node    // leaves only: right sibling
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &node{leaf: true}}
+}
+
+// Len reports the number of keys.
+func (t *Tree) Len() int { return t.size }
+
+// Get returns the value stored under key.
+func (t *Tree) Get(key string) (uint64, bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n.keys, key)]
+	}
+	i := sort.SearchStrings(n.keys, key)
+	if i < len(n.keys) && n.keys[i] == key {
+		return n.vals[i], true
+	}
+	return 0, false
+}
+
+// childIndex returns the child to descend into: the first separator greater
+// than key determines the branch.
+func childIndex(keys []string, key string) int {
+	return sort.Search(len(keys), func(i int) bool { return key < keys[i] })
+}
+
+// Set inserts or updates key. It reports whether the key was newly
+// inserted.
+func (t *Tree) Set(key string, val uint64) bool {
+	inserted, split := t.insert(t.root, key, val)
+	if split != nil {
+		t.root = &node{
+			keys:     []string{split.key},
+			children: []*node{t.root, split.right},
+		}
+	}
+	if inserted {
+		t.size++
+	}
+	return inserted
+}
+
+// splitResult carries a split's separator key and new right sibling up one
+// level.
+type splitResult struct {
+	key   string
+	right *node
+}
+
+func (t *Tree) insert(n *node, key string, val uint64) (bool, *splitResult) {
+	if n.leaf {
+		i := sort.SearchStrings(n.keys, key)
+		if i < len(n.keys) && n.keys[i] == key {
+			n.vals[i] = val
+			return false, nil
+		}
+		n.keys = append(n.keys, "")
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.vals = append(n.vals, 0)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = val
+		return true, n.maybeSplit()
+	}
+	ci := childIndex(n.keys, key)
+	inserted, split := t.insert(n.children[ci], key, val)
+	if split != nil {
+		n.keys = append(n.keys, "")
+		copy(n.keys[ci+1:], n.keys[ci:])
+		n.keys[ci] = split.key
+		n.children = append(n.children, nil)
+		copy(n.children[ci+2:], n.children[ci+1:])
+		n.children[ci+1] = split.right
+	}
+	return inserted, n.maybeSplit()
+}
+
+func (n *node) maybeSplit() *splitResult {
+	if len(n.keys) < degree {
+		return nil
+	}
+	mid := len(n.keys) / 2
+	if n.leaf {
+		right := &node{
+			leaf: true,
+			keys: append([]string(nil), n.keys[mid:]...),
+			vals: append([]uint64(nil), n.vals[mid:]...),
+			next: n.next,
+		}
+		n.keys = n.keys[:mid]
+		n.vals = n.vals[:mid]
+		n.next = right
+		return &splitResult{key: right.keys[0], right: right}
+	}
+	sep := n.keys[mid]
+	right := &node{
+		keys:     append([]string(nil), n.keys[mid+1:]...),
+		children: append([]*node(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	return &splitResult{key: sep, right: right}
+}
+
+// Delete removes key, reporting whether it was present. Underfull nodes are
+// left in place (keys only shrink when the vocabulary shrinks, which for a
+// retrieval dictionary is rare); the tree remains correct, merely less
+// dense.
+func (t *Tree) Delete(key string) bool {
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n.keys, key)]
+	}
+	i := sort.SearchStrings(n.keys, key)
+	if i >= len(n.keys) || n.keys[i] != key {
+		return false
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+	t.size--
+	return true
+}
+
+// Ascend calls fn for every key in ascending order until fn returns false.
+func (t *Tree) Ascend(fn func(key string, val uint64) bool) {
+	t.AscendFrom("", fn)
+}
+
+// AscendFrom calls fn for every key ≥ start in ascending order until fn
+// returns false.
+func (t *Tree) AscendFrom(start string, fn func(key string, val uint64) bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n.keys, start)]
+	}
+	for ; n != nil; n = n.next {
+		i := sort.SearchStrings(n.keys, start)
+		for ; i < len(n.keys); i++ {
+			if !fn(n.keys[i], n.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+// Prefix calls fn for every key with the given prefix, in ascending order —
+// the scan behind truncation queries.
+func (t *Tree) Prefix(prefix string, fn func(key string, val uint64) bool) {
+	t.AscendFrom(prefix, func(key string, val uint64) bool {
+		if !strings.HasPrefix(key, prefix) {
+			return false
+		}
+		return fn(key, val)
+	})
+}
+
+// Height reports the tree height (1 for a lone leaf).
+func (t *Tree) Height() int {
+	h := 1
+	for n := t.root; !n.leaf; n = n.children[0] {
+		h++
+	}
+	return h
+}
+
+// checkInvariants panics on structural violations; exercised by the
+// package's property tests.
+func (t *Tree) checkInvariants() {
+	var walk func(n *node, lo, hi string) int
+	walk = func(n *node, lo, hi string) int {
+		for i, k := range n.keys {
+			if i > 0 && n.keys[i-1] >= k {
+				panic(fmt.Sprintf("btree: keys out of order at %q", k))
+			}
+			if lo != "" && k < lo {
+				panic(fmt.Sprintf("btree: key %q below bound %q", k, lo))
+			}
+			if hi != "" && k >= hi {
+				panic(fmt.Sprintf("btree: key %q above bound %q", k, hi))
+			}
+			if len(n.keys) >= degree {
+				panic("btree: overfull node")
+			}
+		}
+		if n.leaf {
+			if len(n.vals) != len(n.keys) {
+				panic("btree: leaf vals/keys mismatch")
+			}
+			return 1
+		}
+		if len(n.children) != len(n.keys)+1 {
+			panic("btree: children/keys mismatch")
+		}
+		depth := -1
+		for i, c := range n.children {
+			clo, chi := lo, hi
+			if i > 0 {
+				clo = n.keys[i-1]
+			}
+			if i < len(n.keys) {
+				chi = n.keys[i]
+			}
+			d := walk(c, clo, chi)
+			if depth == -1 {
+				depth = d
+			} else if d != depth {
+				panic("btree: uneven leaf depth")
+			}
+		}
+		return depth + 1
+	}
+	walk(t.root, "", "")
+}
+
+// Encode serialises the tree's contents (sorted key/value pairs with
+// front-coded keys, the classic dictionary layout).
+func (t *Tree) Encode(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(t.size))
+	prev := ""
+	t.Ascend(func(key string, val uint64) bool {
+		shared := commonPrefixLen(prev, key)
+		dst = binary.AppendUvarint(dst, uint64(shared))
+		dst = binary.AppendUvarint(dst, uint64(len(key)-shared))
+		dst = append(dst, key[shared:]...)
+		dst = binary.AppendUvarint(dst, val)
+		prev = key
+		return true
+	})
+	return dst
+}
+
+// Decode rebuilds a tree from an Encode image.
+func Decode(buf []byte) (*Tree, error) {
+	count, off := binary.Uvarint(buf)
+	if off <= 0 {
+		return nil, fmt.Errorf("btree: corrupt header")
+	}
+	t := New()
+	prev := ""
+	for i := uint64(0); i < count; i++ {
+		shared, n := binary.Uvarint(buf[off:])
+		if n <= 0 || int(shared) > len(prev) {
+			return nil, fmt.Errorf("btree: corrupt shared length at entry %d", i)
+		}
+		off += n
+		rest, n := binary.Uvarint(buf[off:])
+		if n <= 0 {
+			return nil, fmt.Errorf("btree: corrupt suffix length at entry %d", i)
+		}
+		off += n
+		if off+int(rest) > len(buf) {
+			return nil, fmt.Errorf("btree: truncated key at entry %d", i)
+		}
+		key := prev[:shared] + string(buf[off:off+int(rest)])
+		off += int(rest)
+		val, n := binary.Uvarint(buf[off:])
+		if n <= 0 {
+			return nil, fmt.Errorf("btree: corrupt value at entry %d", i)
+		}
+		off += n
+		if key <= prev && i > 0 {
+			return nil, fmt.Errorf("btree: keys out of order at entry %d", i)
+		}
+		t.Set(key, val)
+		prev = key
+	}
+	return t, nil
+}
+
+func commonPrefixLen(a, b string) int {
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
+	}
+	return n
+}

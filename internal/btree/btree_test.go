@@ -1,0 +1,313 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGet(t *testing.T) {
+	tr := New()
+	if _, ok := tr.Get("missing"); ok {
+		t.Fatal("empty tree Get succeeded")
+	}
+	if !tr.Set("cat", 1) {
+		t.Fatal("first insert not reported new")
+	}
+	if tr.Set("cat", 2) {
+		t.Fatal("update reported as insert")
+	}
+	if v, ok := tr.Get("cat"); !ok || v != 2 {
+		t.Fatalf("Get(cat) = %d, %v", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestManyInsertsSplit(t *testing.T) {
+	tr := New()
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		tr.Set(fmt.Sprintf("word%06d", i), uint64(i))
+	}
+	tr.checkInvariants()
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Height() < 3 {
+		t.Fatalf("height = %d; tree never split", tr.Height())
+	}
+	for i := 0; i < n; i += 97 {
+		key := fmt.Sprintf("word%06d", i)
+		if v, ok := tr.Get(key); !ok || v != uint64(i) {
+			t.Fatalf("Get(%s) = %d, %v", key, v, ok)
+		}
+	}
+}
+
+func TestAscendSorted(t *testing.T) {
+	tr := New()
+	words := []string{"mouse", "cat", "zebra", "dog", "ant"}
+	for i, w := range words {
+		tr.Set(w, uint64(i))
+	}
+	var got []string
+	tr.Ascend(func(k string, _ uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	want := append([]string(nil), words...)
+	sort.Strings(want)
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("Ascend = %v, want %v", got, want)
+	}
+}
+
+func TestAscendFromAndEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Set(fmt.Sprintf("k%03d", i), uint64(i))
+	}
+	var got []string
+	tr.AscendFrom("k050", func(k string, _ uint64) bool {
+		got = append(got, k)
+		return len(got) < 5
+	})
+	if len(got) != 5 || got[0] != "k050" || got[4] != "k054" {
+		t.Fatalf("AscendFrom = %v", got)
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	tr := New()
+	for _, w := range []string{"invert", "inverted", "inversion", "index", "invoke", "zebra"} {
+		tr.Set(w, 1)
+	}
+	var got []string
+	tr.Prefix("inver", func(k string, _ uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []string{"inversion", "invert", "inverted"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("Prefix = %v, want %v", got, want)
+	}
+	// Empty prefix scans everything.
+	count := 0
+	tr.Prefix("", func(string, uint64) bool { count++; return true })
+	if count != 6 {
+		t.Fatalf("empty prefix matched %d", count)
+	}
+	// No matches.
+	tr.Prefix("zz", func(string, uint64) bool { t.Fatal("matched"); return true })
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	for i := 0; i < 500; i++ {
+		tr.Set(fmt.Sprintf("w%04d", i), uint64(i))
+	}
+	if !tr.Delete("w0100") {
+		t.Fatal("delete of present key failed")
+	}
+	if tr.Delete("w0100") {
+		t.Fatal("double delete succeeded")
+	}
+	if _, ok := tr.Get("w0100"); ok {
+		t.Fatal("deleted key still present")
+	}
+	if tr.Len() != 499 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	tr.checkInvariants()
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	tr := New()
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		tr.Set(randWord(r), uint64(r.Intn(1_000_000)))
+	}
+	got, err := Decode(tr.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("Len %d != %d", got.Len(), tr.Len())
+	}
+	tr.Ascend(func(k string, v uint64) bool {
+		gv, ok := got.Get(k)
+		if !ok || gv != v {
+			t.Fatalf("key %q: %d/%v", k, gv, ok)
+		}
+		return true
+	})
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	for i, buf := range [][]byte{nil, {5}, {1, 9, 1, 'a', 1}, {2, 0, 1, 'b', 1, 0, 1}} {
+		if _, err := Decode(buf); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func randWord(r *rand.Rand) string {
+	n := r.Intn(10) + 1
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + r.Intn(26))
+	}
+	return string(b)
+}
+
+func TestQuickMatchesReferenceMap(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := New()
+		ref := map[string]uint64{}
+		for i := 0; i < 400; i++ {
+			w := randWord(r)
+			switch r.Intn(3) {
+			case 0, 1:
+				v := uint64(r.Intn(1000))
+				tr.Set(w, v)
+				ref[w] = v
+			case 2:
+				got := tr.Delete(w)
+				_, want := ref[w]
+				if got != want {
+					return false
+				}
+				delete(ref, w)
+			}
+		}
+		tr.checkInvariants()
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			if gv, ok := tr.Get(k); !ok || gv != v {
+				return false
+			}
+		}
+		// Ascend yields exactly the reference keys, sorted.
+		var keys []string
+		tr.Ascend(func(k string, _ uint64) bool { keys = append(keys, k); return true })
+		if len(keys) != len(ref) {
+			return false
+		}
+		for i := 1; i < len(keys); i++ {
+			if keys[i-1] >= keys[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPrefixMatchesFilter(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := New()
+		var all []string
+		for i := 0; i < 300; i++ {
+			w := randWord(r)
+			if tr.Set(w, 1) {
+				all = append(all, w)
+			}
+		}
+		sort.Strings(all)
+		w := randWord(r)
+		plen := r.Intn(3) + 1
+		if plen > len(w) {
+			plen = len(w)
+		}
+		prefix := w[:plen]
+		var want []string
+		for _, w := range all {
+			if strings.HasPrefix(w, prefix) {
+				want = append(want, w)
+			}
+		}
+		var got []string
+		tr.Prefix(prefix, func(k string, _ uint64) bool { got = append(got, k); return true })
+		return strings.Join(got, ",") == strings.Join(want, ",")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEncodeDecode(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := New()
+		for i := 0; i < 200; i++ {
+			tr.Set(randWord(r), uint64(r.Intn(100_000)))
+		}
+		got, err := Decode(tr.Encode(nil))
+		if err != nil || got.Len() != tr.Len() {
+			return false
+		}
+		ok := true
+		tr.Ascend(func(k string, v uint64) bool {
+			gv, found := got.Get(k)
+			ok = found && gv == v
+			return ok
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSet(b *testing.B) {
+	tr := New()
+	r := rand.New(rand.NewSource(1))
+	words := make([]string, 100_000)
+	for i := range words {
+		words[i] = randWord(r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Set(words[i%len(words)], uint64(i))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New()
+	r := rand.New(rand.NewSource(1))
+	words := make([]string, 100_000)
+	for i := range words {
+		words[i] = randWord(r)
+		tr.Set(words[i], uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(words[i%len(words)])
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatalf("empty Len=%d Height=%d", tr.Len(), tr.Height())
+	}
+	tr.Ascend(func(string, uint64) bool { t.Fatal("empty tree yielded a key"); return false })
+	if tr.Delete("anything") {
+		t.Fatal("deleted from empty tree")
+	}
+	got, err := Decode(tr.Encode(nil))
+	if err != nil || got.Len() != 0 {
+		t.Fatalf("empty roundtrip: %v, %d", err, got.Len())
+	}
+}

@@ -1,0 +1,354 @@
+// Package bucket implements the short-list half of the paper's
+// dual-structure index: fixed-size regions of disk (buckets) that each hold
+// the inverted lists of many infrequent words. Every inverted list starts
+// life as a short list in bucket h(w); when a bucket overflows, its longest
+// short list is evicted and becomes a long list. The buckets thereby
+// dynamically discover which words are frequent.
+//
+// Capacity accounting follows the paper exactly: "each posting is charged 1
+// unit and each word is charged one unit too", i.e. a bucket's load is the
+// number of words it holds plus the number of postings it holds.
+package bucket
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"dualindex/internal/postings"
+)
+
+// Evicted reports a short list pushed out of an overflowing bucket; the
+// caller turns it into a long list.
+type Evicted struct {
+	Word  postings.WordID
+	Count int            // number of postings evicted
+	List  *postings.List // nil when the set tracks counts only
+}
+
+// entry is one short list inside a bucket.
+type entry struct {
+	count int
+	list  *postings.List // nil in count-only mode
+}
+
+// bucketState holds one bucket's lists and cached load.
+type bucketState struct {
+	entries map[postings.WordID]*entry
+	load    int // words + postings
+	dirty   bool
+}
+
+// Set is the full bucket data structure: NumBuckets fixed-size buckets.
+//
+// The Set runs in one of two modes. With TrackPostings, every short list
+// stores its actual postings (what a real retrieval system keeps). Without
+// it, only posting counts are stored — sufficient for the paper's simulation
+// pipeline, which observes that "for our performance evaluation, we do not
+// need to know the contents of each inverted list, only its size".
+type Set struct {
+	numBuckets    int
+	bucketSize    int
+	trackPostings bool
+	buckets       []bucketState
+
+	changes  int64 // bucket mutations, the x-axis unit of Figure 1
+	observer func(bucket int)
+}
+
+// Config sizes a bucket set.
+type Config struct {
+	NumBuckets    int  // paper variable Buckets
+	BucketSize    int  // paper variable BucketSize, in word+posting units
+	TrackPostings bool // store real postings, not just counts
+}
+
+// NewSet creates an empty bucket set.
+func NewSet(cfg Config) (*Set, error) {
+	if cfg.NumBuckets <= 0 || cfg.BucketSize <= 1 {
+		return nil, fmt.Errorf("bucket: need NumBuckets > 0 and BucketSize > 1, got %+v", cfg)
+	}
+	s := &Set{
+		numBuckets:    cfg.NumBuckets,
+		bucketSize:    cfg.BucketSize,
+		trackPostings: cfg.TrackPostings,
+		buckets:       make([]bucketState, cfg.NumBuckets),
+	}
+	for i := range s.buckets {
+		s.buckets[i].entries = make(map[postings.WordID]*entry)
+	}
+	return s, nil
+}
+
+// NumBuckets reports the number of buckets.
+func (s *Set) NumBuckets() int { return s.numBuckets }
+
+// BucketSize reports the per-bucket capacity in units.
+func (s *Set) BucketSize() int { return s.bucketSize }
+
+// Hash is the paper's h(w): a modular-arithmetic hash assigning each word to
+// a bucket.
+func (s *Set) Hash(w postings.WordID) int { return int(uint32(w) % uint32(s.numBuckets)) }
+
+// Changes reports the cumulative number of bucket mutations (insertions,
+// appends and evictions), the time unit of the paper's Figure 1.
+func (s *Set) Changes() int64 { return s.changes }
+
+// SetObserver registers a callback invoked after every bucket mutation —
+// one insertion of a new word, one append to an existing word, or one
+// eviction — with the index of the changed bucket. It is the sampling hook
+// behind the paper's Figure 1 animation. A nil observer disables it.
+func (s *Set) SetObserver(fn func(bucket int)) { s.observer = fn }
+
+func (s *Set) notify(bucket int) {
+	s.changes++
+	if s.observer != nil {
+		s.observer(bucket)
+	}
+}
+
+// Contains reports whether word w currently has a short list.
+func (s *Set) Contains(w postings.WordID) bool {
+	_, ok := s.buckets[s.Hash(w)].entries[w]
+	return ok
+}
+
+// Count reports the number of postings in w's short list (0 if absent).
+func (s *Set) Count(w postings.WordID) int {
+	if e, ok := s.buckets[s.Hash(w)].entries[w]; ok {
+		return e.count
+	}
+	return 0
+}
+
+// List returns w's short list postings (nil in count-only mode or if absent).
+func (s *Set) List(w postings.WordID) *postings.List {
+	if e, ok := s.buckets[s.Hash(w)].entries[w]; ok {
+		return e.list
+	}
+	return nil
+}
+
+// Load reports bucket i's occupancy in units (words + postings).
+func (s *Set) Load(i int) int { return s.buckets[i].load }
+
+// WordsIn reports how many words live in bucket i.
+func (s *Set) WordsIn(i int) int { return len(s.buckets[i].entries) }
+
+// PostingsIn reports how many postings live in bucket i.
+func (s *Set) PostingsIn(i int) int { return s.buckets[i].load - len(s.buckets[i].entries) }
+
+// TotalLoad reports the occupancy of all buckets in units.
+func (s *Set) TotalLoad() int {
+	sum := 0
+	for i := range s.buckets {
+		sum += s.buckets[i].load
+	}
+	return sum
+}
+
+// ForEachWord calls fn for every word currently holding a short list, with
+// its posting count. Iteration order is unspecified.
+func (s *Set) ForEachWord(fn func(w postings.WordID, count int)) {
+	for i := range s.buckets {
+		for w, e := range s.buckets[i].entries {
+			fn(w, e.count)
+		}
+	}
+}
+
+// TotalWords reports the number of words currently holding short lists.
+func (s *Set) TotalWords() int {
+	sum := 0
+	for i := range s.buckets {
+		sum += len(s.buckets[i].entries)
+	}
+	return sum
+}
+
+// Add inserts the in-memory list for word w into bucket h(w): a new short
+// list if w is unseen, otherwise an append to its existing short list. If
+// the bucket overflows, the longest short list is evicted repeatedly until
+// the bucket fits; evicted lists are returned for promotion to long lists.
+//
+// count must be the number of postings; list may be nil unless the set
+// tracks postings. An in-memory list larger than a whole bucket is evicted
+// immediately (it cannot fit no matter what else is removed).
+func (s *Set) Add(w postings.WordID, count int, list *postings.List) ([]Evicted, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("bucket: Add(%d) with count %d", w, count)
+	}
+	if s.trackPostings {
+		if list == nil || list.Len() != count {
+			return nil, fmt.Errorf("bucket: Add(%d) needs a list of %d postings", w, count)
+		}
+	}
+	b := &s.buckets[s.Hash(w)]
+	e, ok := b.entries[w]
+	if !ok {
+		e = &entry{}
+		b.entries[w] = e
+		b.load++ // the word unit
+	}
+	if s.trackPostings {
+		if e.list == nil {
+			e.list = list.Clone()
+		} else if err := e.list.Append(list); err != nil {
+			return nil, fmt.Errorf("bucket: word %d: %w", w, err)
+		}
+	}
+	e.count += count
+	b.load += count
+	b.dirty = true
+	idx := s.Hash(w)
+	s.notify(idx)
+
+	var evicted []Evicted
+	for b.load > s.bucketSize {
+		ev := s.evictLongest(b)
+		evicted = append(evicted, ev)
+		s.notify(idx)
+	}
+	return evicted, nil
+}
+
+// evictLongest removes the longest short list from b ("we then pick the
+// longest short list ... remove it, and make it a long list"; ties broken
+// arbitrarily — here by lowest word id for determinism).
+func (s *Set) evictLongest(b *bucketState) Evicted {
+	var victim postings.WordID
+	best := -1
+	for w, e := range b.entries {
+		if e.count > best || (e.count == best && w < victim) {
+			victim, best = w, e.count
+		}
+	}
+	e := b.entries[victim]
+	delete(b.entries, victim)
+	b.load -= e.count + 1
+	b.dirty = true
+	return Evicted{Word: victim, Count: e.count, List: e.list}
+}
+
+// Remove deletes w's short list outright (used by the deletion sweep).
+func (s *Set) Remove(w postings.WordID) {
+	b := &s.buckets[s.Hash(w)]
+	if e, ok := b.entries[w]; ok {
+		delete(b.entries, w)
+		b.load -= e.count + 1
+		b.dirty = true
+		s.notify(s.Hash(w))
+	}
+}
+
+// ReplaceList swaps w's short list contents (deletion sweep rewriting a
+// list with deleted documents removed). The list must shrink or stay equal.
+func (s *Set) ReplaceList(w postings.WordID, list *postings.List) error {
+	if !s.trackPostings {
+		return fmt.Errorf("bucket: ReplaceList in count-only mode")
+	}
+	b := &s.buckets[s.Hash(w)]
+	e, ok := b.entries[w]
+	if !ok {
+		return fmt.Errorf("bucket: ReplaceList of absent word %d", w)
+	}
+	if list.Len() > e.count {
+		return fmt.Errorf("bucket: ReplaceList grew list %d: %d > %d", w, list.Len(), e.count)
+	}
+	b.load -= e.count - list.Len()
+	e.count = list.Len()
+	e.list = list.Clone()
+	if e.count == 0 {
+		delete(b.entries, w)
+		b.load--
+	}
+	b.dirty = true
+	return nil
+}
+
+// DirtyBuckets returns the indexes of buckets modified since the last
+// ClearDirty, in ascending order.
+func (s *Set) DirtyBuckets() []int {
+	var out []int
+	for i := range s.buckets {
+		if s.buckets[i].dirty {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ClearDirty marks all buckets clean (after a flush).
+func (s *Set) ClearDirty() {
+	for i := range s.buckets {
+		s.buckets[i].dirty = false
+	}
+}
+
+// EncodeBucket serialises bucket i for the on-disk flush: varint word count,
+// then per word a varint word id and either a varint posting count
+// (count-only mode) or the encoded posting list. Words are written in
+// ascending order so encoding is deterministic.
+func (s *Set) EncodeBucket(i int, dst []byte) []byte {
+	b := &s.buckets[i]
+	dst = binary.AppendUvarint(dst, uint64(len(b.entries)))
+	for _, w := range sortedWords(b.entries) {
+		e := b.entries[w]
+		dst = binary.AppendUvarint(dst, uint64(w))
+		if s.trackPostings {
+			dst = postings.Encode(dst, e.list)
+		} else {
+			dst = binary.AppendUvarint(dst, uint64(e.count))
+		}
+	}
+	return dst
+}
+
+// DecodeBucket replaces bucket i's contents from an EncodeBucket image and
+// returns the bytes consumed.
+func (s *Set) DecodeBucket(i int, buf []byte) (int, error) {
+	n, off := binary.Uvarint(buf)
+	if off <= 0 {
+		return 0, fmt.Errorf("bucket: corrupt bucket %d header", i)
+	}
+	b := &s.buckets[i]
+	b.entries = make(map[postings.WordID]*entry, n)
+	b.load = 0
+	for j := uint64(0); j < n; j++ {
+		w, k := binary.Uvarint(buf[off:])
+		if k <= 0 {
+			return 0, fmt.Errorf("bucket: corrupt word id in bucket %d", i)
+		}
+		off += k
+		e := &entry{}
+		if s.trackPostings {
+			list, k, err := postings.Decode(buf[off:])
+			if err != nil {
+				return 0, fmt.Errorf("bucket: bucket %d word %d: %w", i, w, err)
+			}
+			off += k
+			e.list = list
+			e.count = list.Len()
+		} else {
+			c, k := binary.Uvarint(buf[off:])
+			if k <= 0 {
+				return 0, fmt.Errorf("bucket: corrupt count in bucket %d", i)
+			}
+			off += k
+			e.count = int(c)
+		}
+		b.entries[postings.WordID(w)] = e
+		b.load += e.count + 1
+	}
+	b.dirty = false
+	return off, nil
+}
+
+func sortedWords(m map[postings.WordID]*entry) []postings.WordID {
+	out := make([]postings.WordID, 0, len(m))
+	for w := range m {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

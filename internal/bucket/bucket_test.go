@@ -1,0 +1,388 @@
+package bucket
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dualindex/internal/postings"
+)
+
+func newSet(t *testing.T, buckets, size int) *Set {
+	t.Helper()
+	s, err := NewSet(Config{NumBuckets: buckets, BucketSize: size})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSetValidation(t *testing.T) {
+	for _, cfg := range []Config{{}, {NumBuckets: 0, BucketSize: 10}, {NumBuckets: 5, BucketSize: 1}} {
+		if _, err := NewSet(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestHashModular(t *testing.T) {
+	s := newSet(t, 7, 100)
+	for w := postings.WordID(0); w < 100; w++ {
+		if got := s.Hash(w); got != int(w%7) {
+			t.Fatalf("Hash(%d) = %d, want %d", w, got, w%7)
+		}
+	}
+}
+
+func TestAddAndCount(t *testing.T) {
+	s := newSet(t, 4, 100)
+	if _, err := s.Add(9, 5, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains(9) || s.Count(9) != 5 {
+		t.Fatalf("Contains=%v Count=%d", s.Contains(9), s.Count(9))
+	}
+	// A word and its postings are both charged units.
+	if got := s.Load(s.Hash(9)); got != 6 {
+		t.Fatalf("Load = %d, want 6 (1 word + 5 postings)", got)
+	}
+	if _, err := s.Add(9, 3, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count(9) != 8 || s.Load(s.Hash(9)) != 9 {
+		t.Fatalf("after append Count=%d Load=%d", s.Count(9), s.Load(s.Hash(9)))
+	}
+}
+
+func TestAddRejectsBadInput(t *testing.T) {
+	s := newSet(t, 4, 100)
+	if _, err := s.Add(1, 0, nil); err == nil {
+		t.Error("zero count accepted")
+	}
+	ts, _ := NewSet(Config{NumBuckets: 4, BucketSize: 100, TrackPostings: true})
+	if _, err := ts.Add(1, 3, nil); err == nil {
+		t.Error("tracking set accepted nil list")
+	}
+	if _, err := ts.Add(1, 3, postings.FromDocs([]postings.DocID{1})); err == nil {
+		t.Error("tracking set accepted count/list mismatch")
+	}
+}
+
+func TestOverflowEvictsLongest(t *testing.T) {
+	s := newSet(t, 1, 20)
+	if _, err := s.Add(1, 10, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add(2, 5, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Load is now 17; adding 4 postings for word 3 pushes to 22 > 20.
+	ev, err := s.Add(3, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 1 || ev[0].Word != 1 || ev[0].Count != 10 {
+		t.Fatalf("evicted %+v, want word 1 with 10 postings", ev)
+	}
+	if s.Contains(1) {
+		t.Error("evicted word still present")
+	}
+	if s.Load(0) != 11 { // words 2,3 + 9 postings
+		t.Errorf("post-eviction load = %d, want 11", s.Load(0))
+	}
+}
+
+func TestOverflowCanEvictTheInsertedWord(t *testing.T) {
+	s := newSet(t, 1, 20)
+	if _, err := s.Add(1, 5, nil); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := s.Add(2, 30, nil) // larger than the whole bucket
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 1 || ev[0].Word != 2 || ev[0].Count != 30 {
+		t.Fatalf("evicted %+v, want the oversized word 2", ev)
+	}
+	if !s.Contains(1) {
+		t.Error("innocent word 1 was evicted")
+	}
+}
+
+func TestOverflowMayEvictRepeatedly(t *testing.T) {
+	s := newSet(t, 1, 10)
+	if _, err := s.Add(1, 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add(2, 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Bucket at 10/10. Insert word 3 with 9 postings: load 20; evicting one
+	// 4-posting list leaves 15, evicting 9-posting list leaves 10. Evictions
+	// repeat until the bucket fits.
+	ev, err := s.Add(3, 9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) < 1 {
+		t.Fatalf("no evictions: load=%d", s.Load(0))
+	}
+	if s.Load(0) > 10 {
+		t.Fatalf("bucket still over capacity: %d", s.Load(0))
+	}
+}
+
+func TestEvictionTieBreaksDeterministically(t *testing.T) {
+	mk := func() *Set {
+		s := newSet(t, 1, 12)
+		s.Add(5, 5, nil)
+		s.Add(9, 5, nil)
+		return s
+	}
+	a := mk()
+	evA, _ := a.Add(3, 5, nil)
+	b := mk()
+	evB, _ := b.Add(3, 5, nil)
+	if evA[0].Word != evB[0].Word {
+		t.Fatalf("nondeterministic eviction: %d vs %d", evA[0].Word, evB[0].Word)
+	}
+	if evA[0].Word != 3 && evA[0].Word != 5 && evA[0].Word != 9 {
+		t.Fatalf("evicted unknown word %d", evA[0].Word)
+	}
+}
+
+func TestTrackPostingsKeepsLists(t *testing.T) {
+	s, err := NewSet(Config{NumBuckets: 2, BucketSize: 50, TrackPostings: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1 := postings.FromDocs([]postings.DocID{1, 3, 5})
+	if _, err := s.Add(7, 3, l1); err != nil {
+		t.Fatal(err)
+	}
+	l2 := postings.FromDocs([]postings.DocID{8, 9})
+	if _, err := s.Add(7, 2, l2); err != nil {
+		t.Fatal(err)
+	}
+	got := s.List(7)
+	want := postings.FromDocs([]postings.DocID{1, 3, 5, 8, 9})
+	if !postings.Equal(got, want) {
+		t.Fatalf("List = %v, want %v", got.Docs(), want.Docs())
+	}
+	// Evicted entries carry their lists out.
+	ev, err := s.Add(9, 60, postings.FromDocs(seqDocs(10, 60)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 1 || ev[0].List == nil || ev[0].List.Len() != 60 {
+		t.Fatalf("eviction lost list: %+v", ev)
+	}
+}
+
+func TestRemoveAndReplace(t *testing.T) {
+	s, _ := NewSet(Config{NumBuckets: 2, BucketSize: 50, TrackPostings: true})
+	s.Add(4, 3, postings.FromDocs([]postings.DocID{1, 2, 3}))
+	s.Remove(4)
+	if s.Contains(4) || s.Load(s.Hash(4)) != 0 {
+		t.Fatal("Remove left residue")
+	}
+	s.Remove(4) // removing an absent word is a no-op
+
+	s.Add(6, 3, postings.FromDocs([]postings.DocID{1, 2, 3}))
+	if err := s.ReplaceList(6, postings.FromDocs([]postings.DocID{2})); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count(6) != 1 || s.Load(s.Hash(6)) != 2 {
+		t.Fatalf("after replace Count=%d Load=%d", s.Count(6), s.Load(s.Hash(6)))
+	}
+	// Shrinking to empty removes the word entirely.
+	if err := s.ReplaceList(6, postings.FromDocs(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains(6) || s.Load(s.Hash(6)) != 0 {
+		t.Fatal("empty replacement left residue")
+	}
+	if err := s.ReplaceList(99, postings.FromDocs(nil)); err == nil {
+		t.Error("ReplaceList of absent word accepted")
+	}
+}
+
+func TestDirtyTracking(t *testing.T) {
+	s := newSet(t, 8, 100)
+	if len(s.DirtyBuckets()) != 0 {
+		t.Fatal("new set dirty")
+	}
+	s.Add(3, 1, nil)
+	s.Add(11, 1, nil) // same bucket (3 mod 8)
+	s.Add(4, 1, nil)
+	d := s.DirtyBuckets()
+	if len(d) != 2 || d[0] != 3 || d[1] != 4 {
+		t.Fatalf("DirtyBuckets = %v", d)
+	}
+	s.ClearDirty()
+	if len(s.DirtyBuckets()) != 0 {
+		t.Fatal("ClearDirty left dirt")
+	}
+}
+
+func TestEncodeDecodeBucketCountOnly(t *testing.T) {
+	s := newSet(t, 2, 1000)
+	s.Add(0, 5, nil)
+	s.Add(2, 7, nil)
+	s.Add(4, 1, nil)
+	buf := s.EncodeBucket(0, nil)
+
+	s2 := newSet(t, 2, 1000)
+	n, err := s2.DecodeBucket(0, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d", n, len(buf))
+	}
+	for _, w := range []postings.WordID{0, 2, 4} {
+		if s2.Count(w) != s.Count(w) {
+			t.Errorf("word %d: count %d != %d", w, s2.Count(w), s.Count(w))
+		}
+	}
+	if s2.Load(0) != s.Load(0) {
+		t.Errorf("load %d != %d", s2.Load(0), s.Load(0))
+	}
+}
+
+func TestEncodeDecodeBucketWithPostings(t *testing.T) {
+	s, _ := NewSet(Config{NumBuckets: 1, BucketSize: 1000, TrackPostings: true})
+	s.Add(1, 3, postings.FromDocs([]postings.DocID{1, 5, 9}))
+	s.Add(2, 2, postings.FromDocs([]postings.DocID{4, 8}))
+	buf := s.EncodeBucket(0, nil)
+
+	s2, _ := NewSet(Config{NumBuckets: 1, BucketSize: 1000, TrackPostings: true})
+	if _, err := s2.DecodeBucket(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !postings.Equal(s2.List(1), s.List(1)) || !postings.Equal(s2.List(2), s.List(2)) {
+		t.Fatal("decoded lists differ")
+	}
+}
+
+func TestDecodeBucketCorrupt(t *testing.T) {
+	s := newSet(t, 1, 100)
+	if _, err := s.DecodeBucket(0, nil); err == nil {
+		t.Error("nil buffer accepted")
+	}
+	if _, err := s.DecodeBucket(0, []byte{3, 1}); err == nil {
+		t.Error("truncated buffer accepted")
+	}
+}
+
+func TestQuickLoadInvariant(t *testing.T) {
+	// After any Add sequence every bucket's load equals words+postings and
+	// never exceeds BucketSize, and total evicted+resident postings equal
+	// total inserted postings.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s, err := NewSet(Config{NumBuckets: 4, BucketSize: 64})
+		if err != nil {
+			return false
+		}
+		inserted, evicted := 0, 0
+		for i := 0; i < 200; i++ {
+			w := postings.WordID(r.Intn(50))
+			c := r.Intn(20) + 1
+			evs, err := s.Add(w, c, nil)
+			if err != nil {
+				return false
+			}
+			inserted += c
+			for _, e := range evs {
+				evicted += e.Count
+			}
+		}
+		resident := 0
+		for i := 0; i < s.NumBuckets(); i++ {
+			if s.Load(i) > s.BucketSize() {
+				return false
+			}
+			if s.Load(i) != s.WordsIn(i)+s.PostingsIn(i) {
+				return false
+			}
+			resident += s.PostingsIn(i)
+		}
+		return resident+evicted == inserted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEncodeDecodeRoundtrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s, _ := NewSet(Config{NumBuckets: 3, BucketSize: 128})
+		for i := 0; i < 100; i++ {
+			s.Add(postings.WordID(r.Intn(90)), r.Intn(10)+1, nil)
+		}
+		for i := 0; i < 3; i++ {
+			buf := s.EncodeBucket(i, nil)
+			s2, _ := NewSet(Config{NumBuckets: 3, BucketSize: 128})
+			if _, err := s2.DecodeBucket(i, buf); err != nil {
+				return false
+			}
+			if s2.Load(i) != s.Load(i) || s2.WordsIn(i) != s.WordsIn(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func seqDocs(start, n int) []postings.DocID {
+	out := make([]postings.DocID, n)
+	for i := range out {
+		out[i] = postings.DocID(start + i)
+	}
+	return out
+}
+
+func BenchmarkAdd(b *testing.B) {
+	s, _ := NewSet(Config{NumBuckets: 512, BucketSize: 2048})
+	r := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Add(postings.WordID(r.Intn(100_000)), r.Intn(5)+1, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestObserverFiresPerMutation(t *testing.T) {
+	s, _ := NewSet(Config{NumBuckets: 2, BucketSize: 16})
+	var events []int
+	s.SetObserver(func(b int) { events = append(events, b) })
+	s.Add(0, 3, nil) // insert → 1 event on bucket 0
+	s.Add(0, 2, nil) // append → 1 event
+	s.Add(1, 1, nil) // insert on bucket 1
+	if len(events) != 3 || events[0] != 0 || events[2] != 1 {
+		t.Fatalf("events = %v", events)
+	}
+	// Overflow adds one eviction event on the same bucket.
+	events = nil
+	s.Add(2, 20, nil) // bucket 0: insert + eviction
+	if len(events) != 2 || events[0] != 0 || events[1] != 0 {
+		t.Fatalf("overflow events = %v", events)
+	}
+	// Disabling the observer stops notifications; Changes still counts.
+	before := s.Changes()
+	s.SetObserver(nil)
+	events = nil
+	s.Add(3, 1, nil)
+	if len(events) != 0 {
+		t.Fatal("disabled observer fired")
+	}
+	if s.Changes() != before+1 {
+		t.Fatalf("Changes = %d, want %d", s.Changes(), before+1)
+	}
+}

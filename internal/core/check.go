@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dualindex/internal/postings"
+)
+
+// CheckConsistency verifies the index's structural invariants — an fsck for
+// the dual-structure index. It is cheap enough to run after every restart
+// and is exercised throughout the test suite. In store mode it reads every
+// long list, which counts toward the I/O statistics like any other read.
+// Checked invariants:
+//
+//  1. Dual-structure: no word has both a short and a long list.
+//  2. Directory/allocator agreement: every long-list chunk lies within its
+//     disk, and chunk accounting (postings ≤ capacity, blocks > 0) holds.
+//  3. No two chunks overlap on disk (including the bucket, directory,
+//     deleted-list and superblock regions).
+//  4. Block conservation: allocated blocks + free blocks = disk capacity.
+//  5. In store mode, every long list decodes and is sorted by document id.
+func (ix *Index) CheckConsistency() error {
+	// 1. Dual-structure invariant.
+	for _, w := range ix.dir.Words() {
+		if ix.buckets.Contains(w) {
+			return fmt.Errorf("core: word %d has both a short and a long list", w)
+		}
+	}
+
+	// 2-3. Chunk placement and overlap, including the metadata regions.
+	type span struct {
+		disk         int
+		start, count int64
+		what         string
+	}
+	spans := []span{{0, 0, superBlocks, "superblock"}}
+	add := func(rs []regionChunk, what string) {
+		for _, r := range rs {
+			spans = append(spans, span{r.disk, r.block, r.blocks, what})
+		}
+	}
+	add(ix.bucketRegion, "bucket region")
+	add(ix.dirRegion, "directory")
+	add(ix.delRegion, "deleted list")
+	var allocated int64 = superBlocks
+	for _, r := range ix.bucketRegion {
+		allocated += r.blocks
+	}
+	for _, r := range ix.dirRegion {
+		allocated += r.blocks
+	}
+	for _, r := range ix.delRegion {
+		allocated += r.blocks
+	}
+	geo := ix.cfg.Geometry
+	for _, w := range ix.dir.Words() {
+		for _, c := range ix.dir.Chunks(w) {
+			if err := c.Validate(); err != nil {
+				return fmt.Errorf("core: word %d: %w", w, err)
+			}
+			if c.Disk >= geo.NumDisks || c.Block+c.Blocks > geo.BlocksPerDisk {
+				return fmt.Errorf("core: word %d chunk outside disk: %+v", w, c)
+			}
+			spans = append(spans, span{c.Disk, c.Block, c.Blocks, fmt.Sprintf("word %d", w)})
+			allocated += c.Blocks
+		}
+	}
+	perDisk := make(map[int][]span)
+	for _, s := range spans {
+		perDisk[s.disk] = append(perDisk[s.disk], s)
+	}
+	for d, ss := range perDisk {
+		sort.Slice(ss, func(i, j int) bool { return ss[i].start < ss[j].start })
+		for i := 1; i < len(ss); i++ {
+			prev, cur := ss[i-1], ss[i]
+			if prev.start+prev.count > cur.start {
+				return fmt.Errorf("core: disk %d: %s [%d,%d) overlaps %s [%d,%d)",
+					d, prev.what, prev.start, prev.start+prev.count,
+					cur.what, cur.start, cur.start+cur.count)
+			}
+		}
+	}
+
+	// 4. Block conservation. RELEASE-list chunks exist only transiently
+	// inside a batch; the check runs at batch boundaries.
+	if n := ix.long.PendingReleases(); n > 0 {
+		return fmt.Errorf("core: CheckConsistency called mid-batch (%d pending releases)", n)
+	}
+	total := int64(geo.NumDisks) * geo.BlocksPerDisk
+	if got := ix.array.FreeBlocks() + allocated; got != total {
+		return fmt.Errorf("core: block conservation broken: free %d + allocated %d != %d",
+			ix.array.FreeBlocks(), allocated, total)
+	}
+
+	// 5. Store-mode content checks.
+	if ix.cfg.Store != nil {
+		for _, w := range ix.dir.Words() {
+			list, _, err := ix.long.ReadList(w)
+			if err != nil {
+				return fmt.Errorf("core: word %d unreadable: %w", w, err)
+			}
+			if int64(list.Len()) != ix.dir.Postings(w) {
+				return fmt.Errorf("core: word %d: decoded %d postings, directory says %d",
+					w, list.Len(), ix.dir.Postings(w))
+			}
+		}
+		var bad error
+		ix.buckets.ForEachWord(func(w postings.WordID, count int) {
+			if bad != nil {
+				return
+			}
+			l := ix.buckets.List(w)
+			if l == nil || l.Len() != count {
+				bad = fmt.Errorf("core: bucket word %d: list/count mismatch", w)
+			}
+		})
+		if bad != nil {
+			return bad
+		}
+	}
+	return nil
+}

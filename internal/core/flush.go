@@ -1,0 +1,226 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"dualindex/internal/disk"
+	"dualindex/internal/postings"
+)
+
+// flush ends a batch update the way the paper does: all buckets are written
+// to disk (striped, one sequential write per disk), the directory and the
+// deleted-document list are written, a superblock recording their locations
+// is written so the build can restart, the previous images are returned to
+// free space, and the RELEASE list of the long-list manager is drained.
+func (ix *Index) flush() error {
+	oldBuckets, oldDir, oldDel := ix.bucketRegion, ix.dirRegion, ix.delRegion
+
+	if err := ix.flushBuckets(); err != nil {
+		return err
+	}
+	if err := ix.flushDirectory(); err != nil {
+		return err
+	}
+	if err := ix.flushDeleted(); err != nil {
+		return err
+	}
+	if err := ix.writeSuperblock(); err != nil {
+		return err
+	}
+	// "At this time, the disk blocks for the previous buckets and directory
+	// are returned to free space."
+	for _, r := range oldBuckets {
+		ix.array.Free(r.disk, r.block, r.blocks)
+	}
+	for _, r := range oldDir {
+		ix.array.Free(r.disk, r.block, r.blocks)
+	}
+	for _, r := range oldDel {
+		ix.array.Free(r.disk, r.block, r.blocks)
+	}
+	// "In the case of the whole strategy, the old long lists on the RELEASE
+	// list are returned to free space."
+	ix.long.EndBatch()
+	ix.buckets.ClearDirty()
+	if err := ix.array.Sync(); err != nil {
+		return err
+	}
+	ix.array.EndBatch()
+	return nil
+}
+
+// flushBuckets writes the whole fixed-size bucket region, striped evenly
+// across all disks: one sequential write per disk, as in the paper's trace
+// ("update bucket disk 0 id 0 size 1678" once per disk).
+func (ix *Index) flushBuckets() error {
+	total := ix.bucketRegionBlocks()
+	n := int64(ix.cfg.Geometry.NumDisks)
+	perDisk := (total + n - 1) / n
+
+	var image []byte
+	if ix.cfg.Store != nil {
+		for i := 0; i < ix.buckets.NumBuckets(); i++ {
+			image = ix.buckets.EncodeBucket(i, image)
+		}
+		if int64(len(image)) > total*int64(ix.cfg.Geometry.BlockSize) {
+			return fmt.Errorf("core: bucket image %d bytes exceeds region of %d blocks", len(image), total)
+		}
+	}
+	// A fresh slice, never the old backing array: flush() holds the previous
+	// region's chunks for deallocation, and they must not be overwritten.
+	ix.bucketRegion = make([]regionChunk, 0, ix.cfg.Geometry.NumDisks)
+	bytesPerDisk := perDisk * int64(ix.cfg.Geometry.BlockSize)
+	for d := 0; d < ix.cfg.Geometry.NumDisks; d++ {
+		block, err := ix.array.Alloc(d, perDisk)
+		if err != nil {
+			return fmt.Errorf("core: bucket flush: %w", err)
+		}
+		var piece []byte
+		if ix.cfg.Store != nil {
+			lo := int64(d) * bytesPerDisk
+			if lo > int64(len(image)) {
+				lo = int64(len(image))
+			}
+			hi := lo + bytesPerDisk
+			if hi > int64(len(image)) {
+				hi = int64(len(image))
+			}
+			piece = image[lo:hi]
+		}
+		if err := ix.array.WriteBlocksAt(d, block, perDisk, piece, disk.TagBucket); err != nil {
+			return err
+		}
+		ix.bucketRegion = append(ix.bucketRegion, regionChunk{d, block, perDisk})
+	}
+	return nil
+}
+
+// flushDirectory writes the directory image as one chunk, rotating the home
+// disk across batches.
+func (ix *Index) flushDirectory() error {
+	var image []byte
+	size := int64(1)
+	if ix.cfg.Store != nil {
+		image = ix.dir.Encode(nil)
+		size = int64(len(image))
+	} else {
+		size = int64(ix.dir.EncodedSize())
+	}
+	blocks := ix.cfg.Geometry.BlocksFor(size)
+	if blocks == 0 {
+		blocks = 1 // an empty directory still costs its write, as in Figure 6
+	}
+	d := ix.batches % ix.cfg.Geometry.NumDisks
+	block, err := ix.array.Alloc(d, blocks)
+	if err != nil {
+		return fmt.Errorf("core: directory flush: %w", err)
+	}
+	if err := ix.array.WriteBlocksAt(d, block, blocks, image, disk.TagDirectory); err != nil {
+		return err
+	}
+	ix.dirRegion = []regionChunk{{d, block, blocks}}
+	return nil
+}
+
+// flushDeleted writes the deleted-document filter list, if any.
+func (ix *Index) flushDeleted() error {
+	ix.delRegion = nil
+	if len(ix.deleted) == 0 {
+		return nil
+	}
+	image := encodeDocSet(ix.deleted)
+	blocks := ix.cfg.Geometry.BlocksFor(int64(len(image)))
+	d := (ix.batches + 1) % ix.cfg.Geometry.NumDisks
+	block, err := ix.array.Alloc(d, blocks)
+	if err != nil {
+		return fmt.Errorf("core: deleted-list flush: %w", err)
+	}
+	if err := ix.array.WriteBlocksAt(d, block, blocks, image, disk.TagDirectory); err != nil {
+		return err
+	}
+	ix.delRegion = []regionChunk{{d, block, blocks}}
+	return nil
+}
+
+// Superblock layout constants.
+const (
+	superMagic   = 0x494C5549 // "IULI": Inverted-List Update
+	superVersion = 1
+)
+
+// writeSuperblock records where everything lives. It is written last, so a
+// crash mid-flush leaves the previous checkpoint intact.
+func (ix *Index) writeSuperblock() error {
+	var buf []byte
+	if ix.cfg.Store != nil {
+		buf = ix.encodeSuperblock()
+		if int64(len(buf)) > superBlocks*int64(ix.cfg.Geometry.BlockSize) {
+			return fmt.Errorf("core: superblock image %d bytes exceeds %d blocks", len(buf), superBlocks)
+		}
+	}
+	return ix.array.WriteBlocksAt(0, 0, superBlocks, buf, disk.TagDirectory)
+}
+
+func (ix *Index) encodeSuperblock() []byte {
+	var b []byte
+	b = binary.AppendUvarint(b, superMagic)
+	b = binary.AppendUvarint(b, superVersion)
+	b = binary.AppendUvarint(b, uint64(ix.batches+1)) // batches after this flush
+	b = binary.AppendUvarint(b, uint64(ix.long.NextDisk()))
+	// Bucket geometry travels in the checkpoint because RebalanceBuckets
+	// can change it after the index was created.
+	b = binary.AppendUvarint(b, uint64(ix.cfg.Buckets))
+	b = binary.AppendUvarint(b, uint64(ix.cfg.BucketSize))
+	b = appendRegion(b, ix.bucketRegion)
+	b = appendRegion(b, ix.dirRegion)
+	b = appendRegion(b, ix.delRegion)
+	return b
+}
+
+func appendRegion(b []byte, rs []regionChunk) []byte {
+	b = binary.AppendUvarint(b, uint64(len(rs)))
+	for _, r := range rs {
+		b = binary.AppendUvarint(b, uint64(r.disk))
+		b = binary.AppendUvarint(b, uint64(r.block))
+		b = binary.AppendUvarint(b, uint64(r.blocks))
+	}
+	return b
+}
+
+// encodeDocSet serialises a document-identifier set (sorted, delta-coded).
+func encodeDocSet(set map[postings.DocID]bool) []byte {
+	docs := make([]postings.DocID, 0, len(set))
+	for d := range set {
+		docs = append(docs, d)
+	}
+	sort.Slice(docs, func(i, j int) bool { return docs[i] < docs[j] })
+	var b []byte
+	b = binary.AppendUvarint(b, uint64(len(docs)))
+	prev := uint64(0)
+	for _, d := range docs {
+		b = binary.AppendUvarint(b, uint64(d)-prev)
+		prev = uint64(d)
+	}
+	return b
+}
+
+func decodeDocSet(buf []byte) (map[postings.DocID]bool, error) {
+	n, off := binary.Uvarint(buf)
+	if off <= 0 {
+		return nil, fmt.Errorf("core: corrupt deleted list header")
+	}
+	set := make(map[postings.DocID]bool, n)
+	prev := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		gap, k := binary.Uvarint(buf[off:])
+		if k <= 0 {
+			return nil, fmt.Errorf("core: corrupt deleted list at %d", i)
+		}
+		off += k
+		prev += gap
+		set[postings.DocID(prev)] = true
+	}
+	return set, nil
+}

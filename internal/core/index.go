@@ -1,0 +1,271 @@
+// Package core implements the paper's primary contribution: the
+// dual-structure inverted index with incremental in-place updates. It ties
+// together the fixed-size buckets for short lists, the chunk directory and
+// allocation policies for long lists, and the disk array, and adds the
+// batch-update protocol of Section 2: in-memory lists are applied word by
+// word, bucket overflows promote short lists to long lists, and at every
+// batch boundary the buckets, the directory and a superblock are flushed so
+// that an aborted incremental update can be restarted.
+package core
+
+import (
+	"fmt"
+
+	"dualindex/internal/bucket"
+	"dualindex/internal/corpus"
+	"dualindex/internal/directory"
+	"dualindex/internal/disk"
+	"dualindex/internal/longlist"
+	"dualindex/internal/postings"
+)
+
+// Config assembles an index. The defaults (see DefaultConfig) follow the
+// paper's Table 4 base case, scaled to the synthetic corpus.
+type Config struct {
+	// Buckets and BucketSize size the short-list structure (Table 4
+	// variables Buckets and BucketSize; capacity is in word+posting units).
+	Buckets    int
+	BucketSize int
+	// BlockPosting is the number of postings per disk block (Table 4
+	// variable BlockPosting); it implicitly models posting compression.
+	// With a real data store it must be Geometry.BlockSize/8.
+	BlockPosting int64
+	// Geometry describes the disk array.
+	Geometry disk.Geometry
+	// Policy is the long-list allocation policy.
+	Policy longlist.Policy
+	// Store, when non-nil, persists real block contents so the index can
+	// answer queries and restart from a checkpoint. When nil the index runs
+	// in the paper's simulation mode: exact I/O traces, no data.
+	Store disk.BlockStore
+}
+
+// DefaultConfig returns the reduced-scale equivalent of the paper's Table 4
+// base case for simulation mode.
+func DefaultConfig() Config {
+	return Config{
+		Buckets:      512,
+		BucketSize:   2048,
+		BlockPosting: 400,
+		Geometry:     disk.DefaultGeometry(),
+		Policy:       longlist.NewRecommended(),
+	}
+}
+
+// superBlocks is the number of blocks at the start of disk 0 reserved for
+// the checkpoint superblock.
+const superBlocks = 4
+
+// Index is the dual-structure inverted index.
+type Index struct {
+	cfg     Config
+	array   *disk.Array
+	buckets *bucket.Set
+	dir     *directory.Dir
+	long    *longlist.Manager
+
+	// Locations of the current on-disk images of the buckets, the
+	// directory, and the deleted-document list, re-fleshed at every flush.
+	bucketRegion []regionChunk
+	dirRegion    []regionChunk
+	delRegion    []regionChunk
+
+	deleted map[postings.DocID]bool
+
+	batches     int
+	totalSeen   map[postings.WordID]struct{} // words ever seen (new-word stat)
+	updateStats []UpdateStats
+}
+
+type regionChunk struct {
+	disk          int
+	block, blocks int64
+}
+
+// UpdateStats records one batch update's behaviour — the quantities behind
+// the paper's Figure 7 and the per-update curves.
+type UpdateStats struct {
+	Batch       int
+	Words       int // word-occurrence pairs in the update
+	Postings    int64
+	NewWords    int // previously unseen words
+	BucketWords int // words already in a bucket
+	LongWords   int // words with long lists
+	Evictions   int // short lists promoted to long lists
+	ReadOps     int64
+	WriteOps    int64
+	// Cumulative index state after this update.
+	CumOps          int64
+	Utilization     float64
+	AvgReadsPerList float64
+	LongLists       int
+}
+
+// Fractions reports the Figure 7 per-update fractions of new, bucket and
+// long words.
+func (u UpdateStats) Fractions() (newF, bucketF, longF float64) {
+	if u.Words == 0 {
+		return 0, 0, 0
+	}
+	n := float64(u.Words)
+	return float64(u.NewWords) / n, float64(u.BucketWords) / n, float64(u.LongWords) / n
+}
+
+// New creates an empty index.
+func New(cfg Config) (*Index, error) {
+	if cfg.Buckets <= 0 || cfg.BucketSize <= 1 {
+		return nil, fmt.Errorf("core: bad bucket configuration %d×%d", cfg.Buckets, cfg.BucketSize)
+	}
+	array, err := disk.NewArray(cfg.Geometry, cfg.Store)
+	if err != nil {
+		return nil, err
+	}
+	bs, err := bucket.NewSet(bucket.Config{
+		NumBuckets:    cfg.Buckets,
+		BucketSize:    cfg.BucketSize,
+		TrackPostings: cfg.Store != nil,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dir := directory.New()
+	long, err := longlist.NewManager(cfg.Policy, array, dir, cfg.BlockPosting)
+	if err != nil {
+		return nil, err
+	}
+	// The superblock home is never available to the allocator.
+	if err := array.Reserve(0, 0, superBlocks); err != nil {
+		return nil, err
+	}
+	return &Index{
+		cfg:       cfg,
+		array:     array,
+		buckets:   bs,
+		dir:       dir,
+		long:      long,
+		deleted:   make(map[postings.DocID]bool),
+		totalSeen: make(map[postings.WordID]struct{}),
+	}, nil
+}
+
+// Array exposes the disk array (trace, op counts, free space).
+func (ix *Index) Array() *disk.Array { return ix.array }
+
+// Buckets exposes the short-list structure.
+func (ix *Index) Buckets() *bucket.Set { return ix.buckets }
+
+// Directory exposes the long-list directory.
+func (ix *Index) Directory() *directory.Dir { return ix.dir }
+
+// LongLists exposes the long-list manager.
+func (ix *Index) LongLists() *longlist.Manager { return ix.long }
+
+// Policy returns the index's normalized long-list policy.
+func (ix *Index) Policy() longlist.Policy { return ix.long.Policy() }
+
+// Batches reports how many batch updates have been applied.
+func (ix *Index) Batches() int { return ix.batches }
+
+// UpdateHistory returns per-update statistics for all applied batches.
+func (ix *Index) UpdateHistory() []UpdateStats { return ix.updateStats }
+
+// WordUpdate is one word's contribution to a batch update: the in-memory
+// inverted list built from the arriving documents. List may be nil in
+// simulation mode.
+type WordUpdate struct {
+	Word  postings.WordID
+	Count int
+	List  *postings.List
+}
+
+// UpdatesFromBatch converts a generated corpus batch into word updates,
+// with real posting lists when withPostings is set.
+func UpdatesFromBatch(b *corpus.Batch, withPostings bool) []WordUpdate {
+	if !withPostings {
+		wcs := b.Update()
+		out := make([]WordUpdate, len(wcs))
+		for i, wc := range wcs {
+			out[i] = WordUpdate{Word: wc.Word, Count: wc.Count}
+		}
+		return out
+	}
+	docs := map[postings.WordID][]postings.DocID{}
+	for _, d := range b.Docs {
+		for _, w := range d.Words {
+			docs[w] = append(docs[w], d.ID)
+		}
+	}
+	wcs := b.Update()
+	out := make([]WordUpdate, len(wcs))
+	for i, wc := range wcs {
+		out[i] = WordUpdate{Word: wc.Word, Count: wc.Count, List: postings.FromDocs(docs[wc.Word])}
+	}
+	return out
+}
+
+// ApplyUpdate applies one batch update to the index and flushes the buckets,
+// the directory, the deleted-document list and the superblock, completing
+// the batch. It implements Section 2's per-word algorithm: words with long
+// lists append to them; all others go through their bucket, and overflow
+// evictions become long lists.
+func (ix *Index) ApplyUpdate(updates []WordUpdate) (UpdateStats, error) {
+	st := UpdateStats{Batch: ix.batches, Words: len(updates)}
+	r0, w0 := ix.array.ReadOps(), ix.array.WriteOps()
+	for _, u := range updates {
+		if u.Count <= 0 {
+			return st, fmt.Errorf("core: word %d update with count %d", u.Word, u.Count)
+		}
+		st.Postings += int64(u.Count)
+		switch {
+		case ix.dir.Has(u.Word):
+			st.LongWords++
+		case ix.buckets.Contains(u.Word):
+			st.BucketWords++
+		default:
+			st.NewWords++
+		}
+		ix.totalSeen[u.Word] = struct{}{}
+
+		if ix.dir.Has(u.Word) {
+			if err := ix.long.Append(u.Word, int64(u.Count), u.List); err != nil {
+				return st, err
+			}
+			continue
+		}
+		evs, err := ix.buckets.Add(u.Word, u.Count, u.List)
+		if err != nil {
+			return st, err
+		}
+		for _, ev := range evs {
+			st.Evictions++
+			if err := ix.long.Append(ev.Word, int64(ev.Count), ev.List); err != nil {
+				return st, err
+			}
+		}
+	}
+	if err := ix.flush(); err != nil {
+		return st, err
+	}
+	ix.batches++
+	st.ReadOps = ix.array.ReadOps() - r0
+	st.WriteOps = ix.array.WriteOps() - w0
+	st.CumOps = ix.array.Ops()
+	st.Utilization = ix.dir.Utilization()
+	st.AvgReadsPerList = ix.dir.AvgReadsPerList()
+	st.LongLists = ix.dir.NumWords()
+	ix.updateStats = append(ix.updateStats, st)
+	return st, nil
+}
+
+// ApplyBatch is ApplyUpdate for a generated corpus batch.
+func (ix *Index) ApplyBatch(b *corpus.Batch) (UpdateStats, error) {
+	return ix.ApplyUpdate(UpdatesFromBatch(b, ix.cfg.Store != nil))
+}
+
+// bucketRegionBlocks reports the fixed size of the on-disk bucket region in
+// blocks: the full capacity of all buckets, in posting units, converted at
+// BlockPosting per block.
+func (ix *Index) bucketRegionBlocks() int64 {
+	units := int64(ix.cfg.Buckets) * int64(ix.cfg.BucketSize)
+	return (units + ix.cfg.BlockPosting - 1) / ix.cfg.BlockPosting
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dualindex/internal/bucket"
+	"dualindex/internal/directory"
+	"dualindex/internal/disk"
+	"dualindex/internal/longlist"
+	"dualindex/internal/postings"
+)
+
+// Open resumes an index from its last completed batch: the paper's
+// restartability property ("the algorithms and data structures are
+// constructed so that the incremental update of the index can be restarted
+// if it is aborted"). The store must contain the checkpoint written by the
+// most recent successful flush; everything applied after that flush is
+// simply re-applied by the caller.
+func Open(cfg Config) (*Index, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("core: Open requires a data store")
+	}
+	ix, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	super, err := ix.array.ReadBlocksAt(0, 0, superBlocks, disk.TagDirectory)
+	if err != nil {
+		return nil, err
+	}
+	if err := ix.restoreSuperblock(super); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+func (ix *Index) restoreSuperblock(buf []byte) error {
+	off := 0
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(buf[off:])
+		if n <= 0 {
+			return 0, fmt.Errorf("core: truncated superblock at byte %d", off)
+		}
+		off += n
+		return v, nil
+	}
+	magic, err := next()
+	if err != nil {
+		return err
+	}
+	if magic != superMagic {
+		return fmt.Errorf("core: bad superblock magic %#x (no checkpoint on this store?)", magic)
+	}
+	version, err := next()
+	if err != nil {
+		return err
+	}
+	if version != superVersion {
+		return fmt.Errorf("core: superblock version %d unsupported", version)
+	}
+	batches, err := next()
+	if err != nil {
+		return err
+	}
+	nextDisk, err := next()
+	if err != nil {
+		return err
+	}
+	numBuckets, err := next()
+	if err != nil {
+		return err
+	}
+	bucketSize, err := next()
+	if err != nil {
+		return err
+	}
+	if numBuckets == 0 || bucketSize <= 1 {
+		return fmt.Errorf("core: corrupt bucket geometry %d×%d in superblock", numBuckets, bucketSize)
+	}
+	// The checkpoint geometry wins over the configured one: a rebalance may
+	// have grown the bucket space since the index was created.
+	ix.cfg.Buckets = int(numBuckets)
+	ix.cfg.BucketSize = int(bucketSize)
+	readRegion := func() ([]regionChunk, error) {
+		n, err := next()
+		if err != nil {
+			return nil, err
+		}
+		rs := make([]regionChunk, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var vals [3]uint64
+			for k := range vals {
+				if vals[k], err = next(); err != nil {
+					return nil, err
+				}
+			}
+			rs = append(rs, regionChunk{int(vals[0]), int64(vals[1]), int64(vals[2])})
+		}
+		return rs, nil
+	}
+	bucketRegion, err := readRegion()
+	if err != nil {
+		return err
+	}
+	dirRegion, err := readRegion()
+	if err != nil {
+		return err
+	}
+	delRegion, err := readRegion()
+	if err != nil {
+		return err
+	}
+
+	// Reserve and read every checkpointed region.
+	readAll := func(rs []regionChunk) ([]byte, error) {
+		var image []byte
+		for _, r := range rs {
+			if err := ix.array.Reserve(r.disk, r.block, r.blocks); err != nil {
+				return nil, err
+			}
+			piece, err := ix.array.ReadBlocksAt(r.disk, r.block, r.blocks, disk.TagDirectory)
+			if err != nil {
+				return nil, err
+			}
+			image = append(image, piece...)
+		}
+		return image, nil
+	}
+	bucketImage, err := readAll(bucketRegion)
+	if err != nil {
+		return fmt.Errorf("core: restoring buckets: %w", err)
+	}
+	dirImage, err := readAll(dirRegion)
+	if err != nil {
+		return fmt.Errorf("core: restoring directory: %w", err)
+	}
+	delImage, err := readAll(delRegion)
+	if err != nil {
+		return fmt.Errorf("core: restoring deleted list: %w", err)
+	}
+
+	// Decode buckets (stored back to back in bucket order).
+	bs, err := bucket.NewSet(bucket.Config{
+		NumBuckets:    ix.cfg.Buckets,
+		BucketSize:    ix.cfg.BucketSize,
+		TrackPostings: true,
+	})
+	if err != nil {
+		return err
+	}
+	pos := 0
+	for i := 0; i < ix.cfg.Buckets; i++ {
+		n, err := bs.DecodeBucket(i, bucketImage[pos:])
+		if err != nil {
+			return fmt.Errorf("core: bucket %d: %w", i, err)
+		}
+		pos += n
+	}
+
+	dir, err := directory.Decode(dirImage)
+	if err != nil {
+		return fmt.Errorf("core: directory: %w", err)
+	}
+	// Reserve every long-list chunk so the allocator agrees with the
+	// directory.
+	for _, w := range dir.Words() {
+		for _, c := range dir.Chunks(w) {
+			if err := ix.array.Reserve(c.Disk, c.Block, c.Blocks); err != nil {
+				return fmt.Errorf("core: long list chunk of word %d: %w", w, err)
+			}
+		}
+	}
+	long, err := longlist.NewManager(ix.cfg.Policy, ix.array, dir, ix.cfg.BlockPosting)
+	if err != nil {
+		return err
+	}
+	long.SetNextDisk(int(nextDisk))
+
+	if len(delImage) > 0 {
+		if ix.deleted, err = decodeDocSet(delImage); err != nil {
+			return err
+		}
+	}
+
+	ix.buckets = bs
+	ix.dir = dir
+	ix.long = long
+	ix.batches = int(batches)
+	ix.bucketRegion = bucketRegion
+	ix.dirRegion = dirRegion
+	ix.delRegion = delRegion
+
+	// Every word with a list somewhere has been seen.
+	bs.ForEachWord(func(w postings.WordID, _ int) {
+		ix.totalSeen[w] = struct{}{}
+	})
+	for _, w := range dir.Words() {
+		ix.totalSeen[w] = struct{}{}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package corpus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats summarises a corpus the way the paper's Table 1 does for the News
+// abstracts database.
+type Stats struct {
+	RawTextBytes       int64   // estimated raw text size of the rendered documents
+	TotalWords         int     // distinct words seen
+	TotalPostings      int64   // total (word, document) pairs
+	Documents          int     // total documents
+	AvgPostingsPerWord float64 // TotalPostings / TotalWords
+	FrequentCutoff     float64 // rank fraction used for "frequent" (paper: top 2%)
+	FrequentWords      int     // number of frequent words
+	InfrequentWords    int     // the rest
+	FrequentShare      float64 // fraction of postings belonging to frequent words
+	InfrequentShare    float64 // fraction of postings belonging to infrequent words
+}
+
+// FrequentFraction is the paper's definition of a frequent word: a word
+// ranking in the top 2% of all words in order of frequency.
+const FrequentFraction = 0.02
+
+// ComputeStats collects Table 1 statistics over a sequence of batches.
+func ComputeStats(batches []*Batch) Stats {
+	freq := map[WordID]int64{}
+	var s Stats
+	for _, b := range batches {
+		s.Documents += len(b.Docs)
+		for _, d := range b.Docs {
+			s.TotalPostings += int64(len(d.Words))
+			// Rough raw-text estimate: 8 characters per distinct word
+			// occurrence plus typical article overhead, matching the paper's
+			// observation that a full-text index is about the size of the
+			// text itself.
+			s.RawTextBytes += int64(len(d.Words))*8 + 120
+			for _, w := range d.Words {
+				freq[w]++
+			}
+		}
+	}
+	s.TotalWords = len(freq)
+	if s.TotalWords > 0 {
+		s.AvgPostingsPerWord = float64(s.TotalPostings) / float64(s.TotalWords)
+	}
+	counts := make([]int64, 0, len(freq))
+	for _, c := range freq {
+		counts = append(counts, c)
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+	s.FrequentCutoff = FrequentFraction
+	s.FrequentWords = int(float64(s.TotalWords) * FrequentFraction)
+	s.InfrequentWords = s.TotalWords - s.FrequentWords
+	var frequentPostings int64
+	for i := 0; i < s.FrequentWords && i < len(counts); i++ {
+		frequentPostings += counts[i]
+	}
+	if s.TotalPostings > 0 {
+		s.FrequentShare = float64(frequentPostings) / float64(s.TotalPostings)
+		s.InfrequentShare = 1 - s.FrequentShare
+	}
+	return s
+}
+
+// String renders the statistics in the layout of the paper's Table 1.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %s\n", "Text Document Database", "News (synthetic)")
+	fmt.Fprintf(&b, "%-28s %.1f MB\n", "Total Raw Text", float64(s.RawTextBytes)/(1<<20))
+	fmt.Fprintf(&b, "%-28s %d\n", "Total Words", s.TotalWords)
+	fmt.Fprintf(&b, "%-28s %d\n", "Total Postings", s.TotalPostings)
+	fmt.Fprintf(&b, "%-28s %d\n", "Documents", s.Documents)
+	fmt.Fprintf(&b, "%-28s %.0f\n", "Average Postings per Word", s.AvgPostingsPerWord)
+	fmt.Fprintf(&b, "%-28s %d\n", "Frequent Words", s.FrequentWords)
+	fmt.Fprintf(&b, "%-28s %d\n", "Infrequent Words", s.InfrequentWords)
+	fmt.Fprintf(&b, "%-28s %.1f%%\n", "Postings for Frequent Words", 100*s.FrequentShare)
+	fmt.Fprintf(&b, "%-28s %.1f%%\n", "Postings for Infrequent Words", 100*s.InfrequentShare)
+	return b.String()
+}

@@ -1,0 +1,51 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// WordString renders a word identifier as a pronounceable deterministic
+// word, so synthetic documents can be fed through the real lexer in
+// examples and end-to-end tests. Identifiers map bijectively to strings.
+func WordString(w WordID) string {
+	const consonants = "bcdfghjklmnpqrstvwz"
+	const vowels = "aeiou"
+	var b strings.Builder
+	n := uint64(w)
+	for {
+		b.WriteByte(consonants[n%uint64(len(consonants))])
+		n /= uint64(len(consonants))
+		b.WriteByte(vowels[n%uint64(len(vowels))])
+		n /= uint64(len(vowels))
+		if n == 0 {
+			return b.String()
+		}
+		n-- // make the encoding bijective across lengths
+	}
+}
+
+// DocText renders a document as a synthetic News article with a header that
+// the lexer skips and a body containing exactly the document's words, in
+// word-ID order. The day parameter only feeds the Date: header.
+func DocText(d Document, day int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Date: day %d of collection\n", day)
+	fmt.Fprintf(&b, "Message-ID: <%d@news.synthetic>\n", d.ID)
+	b.WriteString("\n")
+	col := 0
+	for _, w := range d.Words {
+		word := WordString(w)
+		if col+len(word)+1 > 72 {
+			b.WriteString("\n")
+			col = 0
+		} else if col > 0 {
+			b.WriteString(" ")
+			col++
+		}
+		b.WriteString(word)
+		col += len(word)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

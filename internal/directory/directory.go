@@ -1,0 +1,260 @@
+// Package directory implements the long-list directory of the dual-structure
+// index: the in-memory map from each word with a long list to the chunks
+// (variable-sized contiguous disk regions) that hold its postings. "The
+// pointers to all chunks are recorded in the directory. The directory
+// entries for a word may point to chunks on multiple disks. The directory
+// resides in memory at all times. Periodically, the directory is written to
+// disk."
+package directory
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"dualindex/internal/postings"
+)
+
+// ChunkRef locates one chunk of a long list and its fill state. Capacity is
+// in postings: Blocks × the postings-per-block parameter. Reserved space at
+// the end of a chunk is Capacity − Postings.
+type ChunkRef struct {
+	Disk     int
+	Block    int64
+	Blocks   int64
+	Postings int64 // postings currently stored
+	Capacity int64 // posting capacity of the allocated blocks
+}
+
+// Free reports the reserved space z of the chunk in postings.
+func (c ChunkRef) Free() int64 { return c.Capacity - c.Postings }
+
+// Validate checks internal consistency.
+func (c ChunkRef) Validate() error {
+	if c.Blocks <= 0 || c.Postings < 0 || c.Capacity < c.Postings || c.Block < 0 || c.Disk < 0 {
+		return fmt.Errorf("directory: invalid chunk %+v", c)
+	}
+	return nil
+}
+
+// Dir is the directory. The zero value is not usable; call New.
+type Dir struct {
+	words map[postings.WordID][]ChunkRef
+
+	totalChunks   int64
+	totalPostings int64
+	totalCapacity int64
+	totalBlocks   int64
+}
+
+// New returns an empty directory.
+func New() *Dir {
+	return &Dir{words: make(map[postings.WordID][]ChunkRef)}
+}
+
+// Has reports whether w has a long list. This is the membership test the
+// index performs before consulting h(w) for a short list.
+func (d *Dir) Has(w postings.WordID) bool {
+	_, ok := d.words[w]
+	return ok
+}
+
+// NumWords reports how many words have long lists.
+func (d *Dir) NumWords() int { return len(d.words) }
+
+// NumChunks reports the total number of chunks across all long lists.
+func (d *Dir) NumChunks() int64 { return d.totalChunks }
+
+// TotalPostings reports the postings stored in all long lists.
+func (d *Dir) TotalPostings() int64 { return d.totalPostings }
+
+// TotalBlocks reports the disk blocks allocated to all long lists.
+func (d *Dir) TotalBlocks() int64 { return d.totalBlocks }
+
+// Utilization is the paper's long-list (internal) utilization rate: the
+// fraction of allocated long-list capacity that holds postings. With no long
+// lists it is 1.0, matching Figure 9's initial spike.
+func (d *Dir) Utilization() float64 {
+	if d.totalCapacity == 0 {
+		return 1.0
+	}
+	return float64(d.totalPostings) / float64(d.totalCapacity)
+}
+
+// AvgReadsPerList is the paper's query-performance metric (Figure 10): "the
+// total number of chunks in the index divided by the number of words with
+// long lists" — the average number of read operations needed to read a long
+// list. With no long lists it reports 0.
+func (d *Dir) AvgReadsPerList() float64 {
+	if len(d.words) == 0 {
+		return 0
+	}
+	return float64(d.totalChunks) / float64(len(d.words))
+}
+
+// Chunks returns w's chunk list (nil if w has no long list). Callers must
+// not mutate the result.
+func (d *Dir) Chunks(w postings.WordID) []ChunkRef { return d.words[w] }
+
+// Postings reports the total postings of w's long list.
+func (d *Dir) Postings(w postings.WordID) int64 {
+	var sum int64
+	for _, c := range d.words[w] {
+		sum += c.Postings
+	}
+	return sum
+}
+
+// LastChunk returns a copy of w's final chunk — the only chunk with reserved
+// space that in-place updates may fill.
+func (d *Dir) LastChunk(w postings.WordID) (ChunkRef, bool) {
+	cs := d.words[w]
+	if len(cs) == 0 {
+		return ChunkRef{}, false
+	}
+	return cs[len(cs)-1], true
+}
+
+// AppendChunk adds a chunk to the end of w's list, creating the long list if
+// needed.
+func (d *Dir) AppendChunk(w postings.WordID, c ChunkRef) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	d.words[w] = append(d.words[w], c)
+	d.account(c, +1)
+	return nil
+}
+
+// GrowLastChunk records an in-place update: n postings added to w's final
+// chunk's reserved space.
+func (d *Dir) GrowLastChunk(w postings.WordID, n int64) error {
+	cs := d.words[w]
+	if len(cs) == 0 {
+		return fmt.Errorf("directory: GrowLastChunk of word %d with no chunks", w)
+	}
+	last := &cs[len(cs)-1]
+	if n <= 0 || last.Postings+n > last.Capacity {
+		return fmt.Errorf("directory: grow %d exceeds reserved space %d of word %d", n, last.Free(), w)
+	}
+	last.Postings += n
+	d.totalPostings += n
+	return nil
+}
+
+// Replace swaps w's entire chunk list (the whole style rewriting a list) and
+// returns the previous chunks so the caller can put them on the RELEASE
+// list.
+func (d *Dir) Replace(w postings.WordID, chunks []ChunkRef) ([]ChunkRef, error) {
+	for _, c := range chunks {
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	old := d.words[w]
+	for _, c := range old {
+		d.account(c, -1)
+	}
+	if len(chunks) == 0 {
+		delete(d.words, w)
+	} else {
+		d.words[w] = chunks
+	}
+	for _, c := range chunks {
+		d.account(c, +1)
+	}
+	return old, nil
+}
+
+// Remove deletes w's long list entirely and returns its chunks.
+func (d *Dir) Remove(w postings.WordID) []ChunkRef {
+	old, _ := d.Replace(w, nil)
+	return old
+}
+
+// Words returns all words with long lists in ascending order.
+func (d *Dir) Words() []postings.WordID {
+	out := make([]postings.WordID, 0, len(d.words))
+	for w := range d.words {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (d *Dir) account(c ChunkRef, sign int64) {
+	d.totalChunks += sign
+	d.totalPostings += sign * c.Postings
+	d.totalCapacity += sign * c.Capacity
+	d.totalBlocks += sign * c.Blocks
+}
+
+// EncodedSize reports the byte size of Encode's output without building it,
+// used to charge the periodic directory flush its true I/O cost.
+func (d *Dir) EncodedSize() int {
+	return len(d.Encode(nil))
+}
+
+// Encode serialises the directory deterministically (words ascending).
+func (d *Dir) Encode(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(d.words)))
+	for _, w := range d.Words() {
+		dst = binary.AppendUvarint(dst, uint64(w))
+		cs := d.words[w]
+		dst = binary.AppendUvarint(dst, uint64(len(cs)))
+		for _, c := range cs {
+			dst = binary.AppendUvarint(dst, uint64(c.Disk))
+			dst = binary.AppendUvarint(dst, uint64(c.Block))
+			dst = binary.AppendUvarint(dst, uint64(c.Blocks))
+			dst = binary.AppendUvarint(dst, uint64(c.Postings))
+			dst = binary.AppendUvarint(dst, uint64(c.Capacity))
+		}
+	}
+	return dst
+}
+
+// Decode reconstructs a directory from an Encode image.
+func Decode(buf []byte) (*Dir, error) {
+	d := New()
+	numWords, off := binary.Uvarint(buf)
+	if off <= 0 {
+		return nil, fmt.Errorf("directory: corrupt header")
+	}
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(buf[off:])
+		if n <= 0 {
+			return 0, fmt.Errorf("directory: truncated at byte %d", off)
+		}
+		off += n
+		return v, nil
+	}
+	for i := uint64(0); i < numWords; i++ {
+		w, err := next()
+		if err != nil {
+			return nil, err
+		}
+		numChunks, err := next()
+		if err != nil {
+			return nil, err
+		}
+		for j := uint64(0); j < numChunks; j++ {
+			var vals [5]uint64
+			for k := range vals {
+				if vals[k], err = next(); err != nil {
+					return nil, err
+				}
+			}
+			c := ChunkRef{
+				Disk:     int(vals[0]),
+				Block:    int64(vals[1]),
+				Blocks:   int64(vals[2]),
+				Postings: int64(vals[3]),
+				Capacity: int64(vals[4]),
+			}
+			if err := d.AppendChunk(postings.WordID(w), c); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,229 @@
+package disk
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Geometry describes a disk array.
+type Geometry struct {
+	NumDisks      int
+	BlocksPerDisk int64
+	BlockSize     int // bytes
+}
+
+// DefaultGeometry mirrors the paper's testbed: an array of SCSI-2 disks of
+// roughly 1 GB each. BlocksPerDisk is generous so reduced-scale experiments
+// never hit the capacity wall the paper hit for the fill-0 policy unless a
+// test asks for it.
+func DefaultGeometry() Geometry {
+	return Geometry{NumDisks: 4, BlocksPerDisk: 262_144, BlockSize: 4096} // 4 × 1 GB
+}
+
+// Validate reports whether the geometry is usable.
+func (g Geometry) Validate() error {
+	if g.NumDisks <= 0 || g.BlocksPerDisk <= 0 || g.BlockSize <= 0 {
+		return fmt.Errorf("disk: invalid geometry %+v", g)
+	}
+	return nil
+}
+
+// ErrNoSpace is returned when no disk can satisfy a contiguous allocation.
+type ErrNoSpace struct {
+	Disk   int
+	Blocks int64
+}
+
+func (e ErrNoSpace) Error() string {
+	return fmt.Sprintf("disk: no contiguous run of %d blocks on disk %d", e.Blocks, e.Disk)
+}
+
+// Array is a set of simulated disks with per-disk free lists, an I/O trace
+// recorder, and an optional block store for real data.
+//
+// Concurrency: the I/O recording methods (ReadBlocksAt, WriteBlocksAt) and
+// the counter accessors may be called concurrently — trace and counters are
+// guarded by an internal mutex, and both provided stores tolerate
+// concurrent reads. Allocation (Alloc, Free, Reserve) and EndBatch mutate
+// free lists and must be serialised by the caller, as the index's batch
+// protocol naturally does.
+type Array struct {
+	geo   Geometry
+	free  []Allocator
+	store BlockStore // may be nil: trace/accounting only
+
+	mu                      sync.Mutex
+	trace                   *Trace
+	readOps, writeOps       int64
+	readBlocks, writeBlocks int64
+}
+
+// NewArray creates an array for the geometry with the paper's first-fit
+// free-space management. store may be nil for simulation-only use.
+func NewArray(geo Geometry, store BlockStore) (*Array, error) {
+	return NewArrayWith(geo, store, func(total int64) Allocator { return NewFreeList(total) })
+}
+
+// NewArrayWith creates an array whose per-disk free space is managed by the
+// allocator newAlloc builds — first-fit or the buddy system.
+func NewArrayWith(geo Geometry, store BlockStore, newAlloc func(total int64) Allocator) (*Array, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Array{geo: geo, trace: &Trace{}, store: store}
+	for i := 0; i < geo.NumDisks; i++ {
+		a.free = append(a.free, newAlloc(geo.BlocksPerDisk))
+	}
+	return a, nil
+}
+
+// Geometry returns the array geometry.
+func (a *Array) Geometry() Geometry { return a.geo }
+
+// HasStore reports whether the array persists block contents (true) or only
+// records the I/O trace (false, the simulation pipeline's mode).
+func (a *Array) HasStore() bool { return a.store != nil }
+
+// Trace returns the I/O trace recorded so far. The caller must not read it
+// concurrently with new operations.
+func (a *Array) Trace() *Trace { return a.trace }
+
+// EndBatch marks a batch-update boundary in the trace.
+func (a *Array) EndBatch() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.trace.EndBatch()
+}
+
+// Alloc carves n contiguous blocks from the named disk with first-fit.
+func (a *Array) Alloc(disk int, n int64) (int64, error) {
+	start, ok := a.free[disk].Alloc(n)
+	if !ok {
+		return 0, ErrNoSpace{Disk: disk, Blocks: n}
+	}
+	return start, nil
+}
+
+// Free returns a chunk to the named disk's free list.
+func (a *Array) Free(disk int, start, n int64) { a.free[disk].Free(start, n) }
+
+// Reserve marks the specific range as allocated; see FreeList.Reserve.
+func (a *Array) Reserve(disk int, start, n int64) error { return a.free[disk].Reserve(start, n) }
+
+// FreeBlocks reports the total free blocks across all disks.
+func (a *Array) FreeBlocks() int64 {
+	var sum int64
+	for _, f := range a.free {
+		sum += f.FreeBlocks()
+	}
+	return sum
+}
+
+// DiskFree reports the free blocks of one disk.
+func (a *Array) DiskFree(disk int) int64 { return a.free[disk].FreeBlocks() }
+
+// ReadOps and friends report cumulative operation counts, the paper's
+// primary unit of measurement in §5.2.
+func (a *Array) ReadOps() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.readOps
+}
+
+// WriteOps reports cumulative write operations.
+func (a *Array) WriteOps() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.writeOps
+}
+
+// Ops reports cumulative operations of both kinds.
+func (a *Array) Ops() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.readOps + a.writeOps
+}
+
+// ReadBlocks reports cumulative blocks read.
+func (a *Array) ReadBlocks() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.readBlocks
+}
+
+// WriteBlocks reports cumulative blocks written.
+func (a *Array) WriteBlocks() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.writeBlocks
+}
+
+func (a *Array) checkRange(disk int, block, count int64) {
+	if disk < 0 || disk >= a.geo.NumDisks {
+		panic(fmt.Sprintf("disk: access to disk %d of %d", disk, a.geo.NumDisks))
+	}
+	if block < 0 || count <= 0 || block+count > a.geo.BlocksPerDisk {
+		panic(fmt.Sprintf("disk: access [%d,%d) outside disk of %d blocks", block, block+count, a.geo.BlocksPerDisk))
+	}
+}
+
+// ReadBlocksAt records (and, with a store, performs) a read of count blocks.
+// Without a store it returns nil data.
+func (a *Array) ReadBlocksAt(disk int, block, count int64, tag string) ([]byte, error) {
+	a.checkRange(disk, block, count)
+	a.mu.Lock()
+	a.trace.Append(Op{Kind: Read, Disk: disk, Block: block, Count: count, Tag: tag})
+	a.readOps++
+	a.readBlocks += count
+	a.mu.Unlock()
+	if a.store == nil {
+		return nil, nil
+	}
+	buf := make([]byte, count*int64(a.geo.BlockSize))
+	if err := a.store.ReadAt(disk, block, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// WriteBlocksAt records (and, with a store, performs) a write of count
+// blocks. data may be nil when no store is attached; when a store is
+// attached, data shorter than the block run is zero-padded.
+func (a *Array) WriteBlocksAt(disk int, block, count int64, data []byte, tag string) error {
+	a.checkRange(disk, block, count)
+	a.mu.Lock()
+	a.trace.Append(Op{Kind: Write, Disk: disk, Block: block, Count: count, Tag: tag})
+	a.writeOps++
+	a.writeBlocks += count
+	a.mu.Unlock()
+	if a.store == nil {
+		return nil
+	}
+	want := count * int64(a.geo.BlockSize)
+	if int64(len(data)) > want {
+		return fmt.Errorf("disk: %d bytes exceed %d blocks", len(data), count)
+	}
+	buf := data
+	if int64(len(data)) != want {
+		buf = make([]byte, want)
+		copy(buf, data)
+	}
+	return a.store.WriteAt(disk, block, buf)
+}
+
+// Sync flushes the store, modelling the paper's flush of all system buffers
+// after buckets and directory are written.
+func (a *Array) Sync() error {
+	if a.store == nil {
+		return nil
+	}
+	return a.store.Sync()
+}
+
+// BlocksFor reports how many blocks hold n bytes.
+func (g Geometry) BlocksFor(bytes int64) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return (bytes + int64(g.BlockSize) - 1) / int64(g.BlockSize)
+}

@@ -1,0 +1,114 @@
+package disk
+
+import (
+	"math"
+	"time"
+)
+
+// Profile is a disk performance model: seek, rotation and transfer
+// characteristics. The exercise-disks process charges each I/O operation a
+// distance-dependent seek, half a rotation of latency, and media-rate
+// transfer time — the standard first-order disk model.
+type Profile struct {
+	Name string
+	// MinSeek is the track-to-track seek time; MaxSeek the full-stroke seek.
+	// The seek curve between them follows the usual square-root-of-distance
+	// shape.
+	MinSeek time.Duration
+	MaxSeek time.Duration
+	// RPM is the spindle speed; average rotational latency is half a turn.
+	RPM int
+	// TransferBytesPerSec is the sustained media transfer rate.
+	TransferBytesPerSec int64
+	// Overhead is fixed per-operation cost (command processing, bus
+	// arbitration on the SCSI-2 bus).
+	Overhead time.Duration
+}
+
+// Seagate1993 approximates the paper's testbed disks (Seagate ST-11200N
+// class: 1 GB, 3.5-inch, SCSI-2; ~10.5 ms average seek, 5400 RPM, ~2.5 MB/s
+// sustained).
+func Seagate1993() Profile {
+	return Profile{
+		Name:                "seagate-st11200n-1993",
+		MinSeek:             1700 * time.Microsecond,
+		MaxSeek:             22 * time.Millisecond,
+		RPM:                 5400,
+		TransferBytesPerSec: 2_500_000,
+		Overhead:            500 * time.Microsecond,
+	}
+}
+
+// FastSCSI1995 is a faster drive generation, used by the extension
+// experiments that vary disk speed.
+func FastSCSI1995() Profile {
+	return Profile{
+		Name:                "fast-scsi-1995",
+		MinSeek:             1 * time.Millisecond,
+		MaxSeek:             16 * time.Millisecond,
+		RPM:                 7200,
+		TransferBytesPerSec: 6_000_000,
+		Overhead:            300 * time.Microsecond,
+	}
+}
+
+// Optical1993 approximates a 1993-era magneto-optical drive: very slow
+// seeks and modest transfer, as in the paper's extended-version experiment
+// on optical disk updates.
+func Optical1993() Profile {
+	return Profile{
+		Name:                "magneto-optical-1993",
+		MinSeek:             20 * time.Millisecond,
+		MaxSeek:             120 * time.Millisecond,
+		RPM:                 2400,
+		TransferBytesPerSec: 1_000_000,
+		Overhead:            1 * time.Millisecond,
+	}
+}
+
+// AvgSeek reports the conventional average seek (the seek for one third of
+// the full stroke under the square-root model).
+func (p Profile) AvgSeek(capacity int64) time.Duration {
+	return p.SeekTime(capacity/3, capacity)
+}
+
+// SeekTime models a seek across dist of capacity total blocks.
+func (p Profile) SeekTime(dist, capacity int64) time.Duration {
+	if dist <= 0 {
+		return 0
+	}
+	if capacity <= 0 {
+		return p.MinSeek
+	}
+	frac := math.Sqrt(float64(dist) / float64(capacity))
+	return p.MinSeek + time.Duration(frac*float64(p.MaxSeek-p.MinSeek))
+}
+
+// RotationalLatency reports the expected latency: half a revolution.
+func (p Profile) RotationalLatency() time.Duration {
+	if p.RPM <= 0 {
+		return 0
+	}
+	perRev := time.Minute / time.Duration(p.RPM)
+	return perRev / 2
+}
+
+// TransferTime reports media transfer time for the given byte count.
+func (p Profile) TransferTime(bytes int64) time.Duration {
+	if p.TransferBytesPerSec <= 0 || bytes <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes) / float64(p.TransferBytesPerSec) * float64(time.Second))
+}
+
+// OpTime reports the modelled service time of one coalesced operation:
+// overhead + seek from the current head position + rotational latency +
+// transfer.
+func (p Profile) OpTime(headPos, block, count int64, capacity int64, blockSize int) time.Duration {
+	dist := block - headPos
+	if dist < 0 {
+		dist = -dist
+	}
+	return p.Overhead + p.SeekTime(dist, capacity) + p.RotationalLatency() +
+		p.TransferTime(count*int64(blockSize))
+}

@@ -1,0 +1,180 @@
+package disk
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// A BlockStore persists block contents. The simulation pipeline runs without
+// one (operation counts and the timing model need no data); the real index
+// stores encoded postings through one.
+type BlockStore interface {
+	// ReadAt fills buf with block contents starting at the given block.
+	// len(buf) must be a multiple of the block size.
+	ReadAt(disk int, block int64, buf []byte) error
+	// WriteAt writes buf starting at the given block. len(buf) must be a
+	// multiple of the block size.
+	WriteAt(disk int, block int64, buf []byte) error
+	// Sync flushes buffered writes to stable storage.
+	Sync() error
+	// Close releases resources.
+	Close() error
+}
+
+// MemStore is an in-memory block store.
+type MemStore struct {
+	blockSize int
+	disks     []map[int64][]byte
+}
+
+// NewMemStore returns an in-memory store for the given geometry.
+func NewMemStore(numDisks, blockSize int) *MemStore {
+	disks := make([]map[int64][]byte, numDisks)
+	for i := range disks {
+		disks[i] = make(map[int64][]byte)
+	}
+	return &MemStore{blockSize: blockSize, disks: disks}
+}
+
+func (s *MemStore) check(disk int, block int64, buf []byte) error {
+	if disk < 0 || disk >= len(s.disks) {
+		return fmt.Errorf("disk: store access to disk %d of %d", disk, len(s.disks))
+	}
+	if len(buf)%s.blockSize != 0 {
+		return fmt.Errorf("disk: buffer length %d not a multiple of block size %d", len(buf), s.blockSize)
+	}
+	if block < 0 {
+		return fmt.Errorf("disk: negative block %d", block)
+	}
+	return nil
+}
+
+// ReadAt implements BlockStore. Unwritten blocks read as zeros.
+func (s *MemStore) ReadAt(disk int, block int64, buf []byte) error {
+	if err := s.check(disk, block, buf); err != nil {
+		return err
+	}
+	for off := 0; off < len(buf); off += s.blockSize {
+		b := s.disks[disk][block+int64(off/s.blockSize)]
+		if b == nil {
+			for i := off; i < off+s.blockSize; i++ {
+				buf[i] = 0
+			}
+		} else {
+			copy(buf[off:off+s.blockSize], b)
+		}
+	}
+	return nil
+}
+
+// WriteAt implements BlockStore.
+func (s *MemStore) WriteAt(disk int, block int64, buf []byte) error {
+	if err := s.check(disk, block, buf); err != nil {
+		return err
+	}
+	for off := 0; off < len(buf); off += s.blockSize {
+		b := make([]byte, s.blockSize)
+		copy(b, buf[off:off+s.blockSize])
+		s.disks[disk][block+int64(off/s.blockSize)] = b
+	}
+	return nil
+}
+
+// Sync implements BlockStore (a no-op in memory).
+func (s *MemStore) Sync() error { return nil }
+
+// Close implements BlockStore.
+func (s *MemStore) Close() error { return nil }
+
+// FileStore backs each simulated disk with one file, the equivalent of the
+// paper's raw disk partitions for runs that want real I/O.
+type FileStore struct {
+	blockSize int
+	files     []*os.File
+}
+
+// NewFileStore creates (or truncates) one backing file per disk in dir.
+func NewFileStore(dir string, numDisks, blockSize int) (*FileStore, error) {
+	return newFileStore(dir, numDisks, blockSize, os.O_RDWR|os.O_CREATE|os.O_TRUNC)
+}
+
+// OpenFileStore reopens an existing store's backing files without
+// truncating them, for resuming an index from its checkpoint.
+func OpenFileStore(dir string, numDisks, blockSize int) (*FileStore, error) {
+	return newFileStore(dir, numDisks, blockSize, os.O_RDWR)
+}
+
+func newFileStore(dir string, numDisks, blockSize int, flag int) (*FileStore, error) {
+	s := &FileStore{blockSize: blockSize}
+	for i := 0; i < numDisks; i++ {
+		f, err := os.OpenFile(filepath.Join(dir, fmt.Sprintf("disk%d.dat", i)), flag, 0o644)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.files = append(s.files, f)
+	}
+	return s, nil
+}
+
+func (s *FileStore) check(disk int, buf []byte) error {
+	if disk < 0 || disk >= len(s.files) {
+		return fmt.Errorf("disk: store access to disk %d of %d", disk, len(s.files))
+	}
+	if len(buf)%s.blockSize != 0 {
+		return fmt.Errorf("disk: buffer length %d not a multiple of block size %d", len(buf), s.blockSize)
+	}
+	return nil
+}
+
+// ReadAt implements BlockStore. Reads past the written end return zeros,
+// matching raw-partition semantics for never-written blocks.
+func (s *FileStore) ReadAt(disk int, block int64, buf []byte) error {
+	if err := s.check(disk, buf); err != nil {
+		return err
+	}
+	n, err := s.files[disk].ReadAt(buf, block*int64(s.blockSize))
+	if err == io.EOF {
+		// Zero-fill the tail beyond EOF.
+		for i := n; i < len(buf); i++ {
+			buf[i] = 0
+		}
+		return nil
+	}
+	return err
+}
+
+// WriteAt implements BlockStore.
+func (s *FileStore) WriteAt(disk int, block int64, buf []byte) error {
+	if err := s.check(disk, buf); err != nil {
+		return err
+	}
+	_, err := s.files[disk].WriteAt(buf, block*int64(s.blockSize))
+	return err
+}
+
+// Sync implements BlockStore.
+func (s *FileStore) Sync() error {
+	for _, f := range s.files {
+		if err := f.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close implements BlockStore.
+func (s *FileStore) Close() error {
+	var first error
+	for _, f := range s.files {
+		if f == nil {
+			continue
+		}
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

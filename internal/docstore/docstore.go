@@ -1,0 +1,306 @@
+// Package docstore implements an append-only document store: the original
+// text of every indexed document, addressable by document identifier. The
+// engine uses it to return document text with search results and to verify
+// positional conditions — the paper's proximity ("cat and dog occur within
+// so many words of each other") and region ("mouse occurs within a title
+// region") query refinements, which an abstracts-level inverted index
+// cannot decide on its own.
+package docstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"dualindex/internal/postings"
+)
+
+// Store persists documents. Implementations are an in-memory map and an
+// append-only log file.
+type Store interface {
+	// Put stores a document's text. Identifiers must be new; documents are
+	// immutable once written.
+	Put(id postings.DocID, text string) error
+	// Get returns the document's text, with ok false for unknown ids.
+	Get(id postings.DocID) (text string, ok bool, err error)
+	// Len reports the number of stored documents.
+	Len() int
+	// Sync flushes buffered writes to stable storage.
+	Sync() error
+	// Close releases resources.
+	Close() error
+}
+
+// Mem is an in-memory store.
+type Mem struct {
+	docs map[postings.DocID]string
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{docs: make(map[postings.DocID]string)}
+}
+
+// Put implements Store.
+func (m *Mem) Put(id postings.DocID, text string) error {
+	if _, dup := m.docs[id]; dup {
+		return fmt.Errorf("docstore: duplicate document %d", id)
+	}
+	m.docs[id] = text
+	return nil
+}
+
+// Get implements Store.
+func (m *Mem) Get(id postings.DocID) (string, bool, error) {
+	t, ok := m.docs[id]
+	return t, ok, nil
+}
+
+// Len implements Store.
+func (m *Mem) Len() int { return len(m.docs) }
+
+// Sync implements Store.
+func (m *Mem) Sync() error { return nil }
+
+// Close implements Store.
+func (m *Mem) Close() error { return nil }
+
+// File is an append-only log-file store. Each record is a varint document
+// id, a varint length, and the text; the id → offset index is rebuilt by a
+// sequential scan at open, so the file itself is the only durable state.
+type File struct {
+	f       *os.File
+	w       *bufio.Writer
+	offsets map[postings.DocID]int64
+	size    int64
+}
+
+// OpenFile opens (creating if needed) a log-file store and rebuilds its
+// index. A trailing partial record — a crash mid-append — is truncated
+// away, mirroring the index's batch-boundary recovery.
+func OpenFile(path string) (*File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s := &File{f: f, offsets: make(map[postings.DocID]int64)}
+	if err := s.scan(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(s.size, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.w = bufio.NewWriter(f)
+	return s, nil
+}
+
+// scan rebuilds the offset index, stopping (and truncating) at the first
+// incomplete record.
+func (s *File) scan() error {
+	r := bufio.NewReader(s.f)
+	var off int64
+	for {
+		id, idLen, err := readUvarint(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			break // partial header: truncate here
+		}
+		length, lenLen, err := readUvarint(r)
+		if err != nil {
+			break
+		}
+		if _, err := r.Discard(int(length)); err != nil {
+			break
+		}
+		s.offsets[postings.DocID(id)] = off
+		off += int64(idLen) + int64(lenLen) + int64(length)
+	}
+	s.size = off
+	return s.f.Truncate(off)
+}
+
+func readUvarint(r *bufio.Reader) (uint64, int, error) {
+	var v uint64
+	var n int
+	for shift := uint(0); ; shift += 7 {
+		b, err := r.ReadByte()
+		if err != nil {
+			return 0, n, err
+		}
+		n++
+		v |= uint64(b&0x7F) << shift
+		if b < 0x80 {
+			return v, n, nil
+		}
+		if shift > 56 {
+			return 0, n, fmt.Errorf("docstore: varint overflow")
+		}
+	}
+}
+
+// Put implements Store.
+func (s *File) Put(id postings.DocID, text string) error {
+	if _, dup := s.offsets[id]; dup {
+		return fmt.Errorf("docstore: duplicate document %d", id)
+	}
+	var hdr []byte
+	hdr = binary.AppendUvarint(hdr, uint64(id))
+	hdr = binary.AppendUvarint(hdr, uint64(len(text)))
+	if _, err := s.w.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := s.w.WriteString(text); err != nil {
+		return err
+	}
+	s.offsets[id] = s.size
+	s.size += int64(len(hdr)) + int64(len(text))
+	return nil
+}
+
+// Get implements Store.
+func (s *File) Get(id postings.DocID) (string, bool, error) {
+	off, ok := s.offsets[id]
+	if !ok {
+		return "", false, nil
+	}
+	if err := s.w.Flush(); err != nil {
+		return "", false, err
+	}
+	sr := io.NewSectionReader(s.f, off, s.size-off)
+	r := bufio.NewReader(sr)
+	if _, _, err := readUvarint(r); err != nil {
+		return "", false, err
+	}
+	length, _, err := readUvarint(r)
+	if err != nil {
+		return "", false, err
+	}
+	buf := make([]byte, length)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", false, err
+	}
+	return string(buf), true, nil
+}
+
+// Len implements Store.
+func (s *File) Len() int { return len(s.offsets) }
+
+// Sync implements Store.
+func (s *File) Sync() error {
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	return s.f.Sync()
+}
+
+// Close implements Store.
+func (s *File) Close() error {
+	if err := s.w.Flush(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
+
+// A Walker can enumerate stored documents, used to recover documents that
+// were persisted after the index's last checkpoint.
+type Walker interface {
+	// ForEach calls fn for every stored document, in unspecified order,
+	// stopping at the first error.
+	ForEach(fn func(id postings.DocID, text string) error) error
+}
+
+// ForEach implements Walker for Mem.
+func (m *Mem) ForEach(fn func(id postings.DocID, text string) error) error {
+	for id, text := range m.docs {
+		if err := fn(id, text); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForEach implements Walker for File.
+func (s *File) ForEach(fn func(id postings.DocID, text string) error) error {
+	for id := range s.offsets {
+		text, ok, err := s.Get(id)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if err := fn(id, text); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// A Compactor can physically drop documents — the document-store analogue
+// of the index's deletion sweep.
+type Compactor interface {
+	// Compact rewrites the store keeping only documents for which keep
+	// returns true.
+	Compact(keep func(postings.DocID) bool) error
+}
+
+// Compact implements Compactor for Mem.
+func (m *Mem) Compact(keep func(postings.DocID) bool) error {
+	for id := range m.docs {
+		if !keep(id) {
+			delete(m.docs, id)
+		}
+	}
+	return nil
+}
+
+// Compact implements Compactor for File: surviving records stream into a
+// sibling temporary file which atomically replaces the log.
+func (s *File) Compact(keep func(postings.DocID) bool) error {
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	tmpPath := s.f.Name() + ".compact"
+	tmp, err := OpenFile(tmpPath)
+	if err != nil {
+		return err
+	}
+	for id := range s.offsets {
+		if !keep(id) {
+			continue
+		}
+		text, ok, err := s.Get(id)
+		if err != nil || !ok {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("docstore: compacting doc %d: ok=%v err=%v", id, ok, err)
+		}
+		if err := tmp.Put(id, text); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return err
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	old := s.f.Name()
+	s.f.Close()
+	if err := os.Rename(tmpPath, old); err != nil {
+		return err
+	}
+	re, err := OpenFile(old)
+	if err != nil {
+		return err
+	}
+	*s = *re
+	return nil
+}

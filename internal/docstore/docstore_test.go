@@ -1,0 +1,234 @@
+package docstore
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dualindex/internal/postings"
+)
+
+func testStores(t *testing.T) map[string]Store {
+	t.Helper()
+	file, err := OpenFile(filepath.Join(t.TempDir(), "docs.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{"mem": NewMem(), "file": file}
+}
+
+func TestPutGet(t *testing.T) {
+	for name, s := range testStores(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			if err := s.Put(1, "hello world"); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put(2, ""); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put(1, "dup"); err == nil {
+				t.Fatal("duplicate accepted")
+			}
+			text, ok, err := s.Get(1)
+			if err != nil || !ok || text != "hello world" {
+				t.Fatalf("Get(1) = %q, %v, %v", text, ok, err)
+			}
+			if text, ok, _ := s.Get(2); !ok || text != "" {
+				t.Fatalf("empty doc roundtrip: %q, %v", text, ok)
+			}
+			if _, ok, _ := s.Get(99); ok {
+				t.Fatal("unknown id found")
+			}
+			if s.Len() != 2 {
+				t.Fatalf("Len = %d", s.Len())
+			}
+			if err := s.Sync(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestFileReopenRebuildsIndex(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "docs.log")
+	s, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := map[postings.DocID]string{
+		1: "first document",
+		2: strings.Repeat("long ", 1000),
+		7: "third",
+	}
+	for id, text := range docs {
+		if err := s.Put(id, text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 3 {
+		t.Fatalf("reopened Len = %d", re.Len())
+	}
+	for id, want := range docs {
+		got, ok, err := re.Get(id)
+		if err != nil || !ok || got != want {
+			t.Fatalf("doc %d: %v %v (len %d vs %d)", id, ok, err, len(got), len(want))
+		}
+	}
+	// Appends continue after reopen.
+	if err := re.Put(8, "post-reopen"); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, _ := re.Get(8); !ok || got != "post-reopen" {
+		t.Fatal("post-reopen append lost")
+	}
+}
+
+func TestFileTruncatesPartialRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "docs.log")
+	s, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(1, "complete record")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: garbage tail claiming a huge record.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{9, 200, 200}) // id 9, then an unterminated varint length
+	f.Close()
+
+	re, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 1 {
+		t.Fatalf("Len = %d after partial-record truncation", re.Len())
+	}
+	if got, ok, _ := re.Get(1); !ok || got != "complete record" {
+		t.Fatal("intact record damaged")
+	}
+	// The store accepts new appends on the truncated tail.
+	if err := re.Put(2, "recovered"); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, _ := re.Get(2); !ok || got != "recovered" {
+		t.Fatal("append after truncation lost")
+	}
+}
+
+func TestQuickFileRoundtrip(t *testing.T) {
+	f := func(texts []string) bool {
+		path := filepath.Join(t.TempDir(), "q.log")
+		s, err := OpenFile(path)
+		if err != nil {
+			return false
+		}
+		for i, text := range texts {
+			if err := s.Put(postings.DocID(i+1), text); err != nil {
+				return false
+			}
+		}
+		if err := s.Close(); err != nil {
+			return false
+		}
+		re, err := OpenFile(path)
+		if err != nil {
+			return false
+		}
+		defer re.Close()
+		for i, want := range texts {
+			got, ok, err := re.Get(postings.DocID(i + 1))
+			if err != nil || !ok || got != want {
+				return false
+			}
+		}
+		return re.Len() == len(texts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactMem(t *testing.T) {
+	m := NewMem()
+	m.Put(1, "a")
+	m.Put(2, "b")
+	m.Put(3, "c")
+	if err := m.Compact(func(d postings.DocID) bool { return d != 2 }); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if _, ok, _ := m.Get(2); ok {
+		t.Fatal("compacted doc survived")
+	}
+}
+
+func TestCompactFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.log")
+	s, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := postings.DocID(1); i <= 20; i++ {
+		if err := s.Put(i, strings.Repeat("x", int(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	sizeBefore, _ := os.Stat(path)
+	if err := s.Compact(func(d postings.DocID) bool { return d%2 == 0 }); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for i := postings.DocID(1); i <= 20; i++ {
+		_, ok, err := s.Get(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != (i%2 == 0) {
+			t.Fatalf("doc %d presence = %v", i, ok)
+		}
+	}
+	sizeAfter, _ := os.Stat(path)
+	if sizeAfter.Size() >= sizeBefore.Size() {
+		t.Errorf("compaction did not shrink the log: %d → %d", sizeBefore.Size(), sizeAfter.Size())
+	}
+	// The compacted store accepts appends and survives reopen.
+	if err := s.Put(21, "fresh"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 11 {
+		t.Fatalf("reopened Len = %d", re.Len())
+	}
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"dualindex/internal/postings"
+)
+
+// CompressionRow reports one posting codec's storage cost over the corpus's
+// actual inverted lists, and the BlockPosting value it implies — making the
+// paper's statement that BlockPosting "implicitly models the efficiency of
+// the compression algorithm" concrete.
+type CompressionRow struct {
+	Codec           string
+	Bytes           int64
+	BytesPerPosting float64
+	// ImpliedBlockPosting is BlockSize / BytesPerPosting: the Table 4
+	// parameter a system using this codec would plug into the model.
+	ImpliedBlockPosting int64
+}
+
+// CompressionStudy builds every word's full inverted list from the corpus
+// and measures three codecs: the fixed 8-byte records the mutable long-list
+// store uses, byte-aligned delta varints, and gap-tuned Golomb coding (the
+// compression the paper cites as complementary).
+func (e *Env) CompressionStudy() ([]CompressionRow, error) {
+	lists := e.fullLists()
+	var totalPostings, fixedBytes, varintBytes, golombBytes int64
+	var totalDocs int64
+	for _, b := range e.Batches {
+		totalDocs += int64(len(b.Docs))
+	}
+	for _, l := range lists {
+		n := int64(l.Len())
+		totalPostings += n
+		fixedBytes += n * 8
+		varintBytes += int64(postings.EncodedSize(l))
+		gb := postings.GolombParameter(totalDocs, n)
+		golombBytes += int64(postings.GolombSize(l, gb))
+	}
+	mk := func(name string, bytes int64) CompressionRow {
+		bpp := float64(bytes) / float64(totalPostings)
+		return CompressionRow{
+			Codec:               name,
+			Bytes:               bytes,
+			BytesPerPosting:     bpp,
+			ImpliedBlockPosting: int64(float64(e.Params.Geometry.BlockSize) / bpp),
+		}
+	}
+	return []CompressionRow{
+		mk("fixed-8", fixedBytes),
+		mk("varint-delta", varintBytes),
+		mk("golomb", golombBytes),
+	}, nil
+}
+
+// fullLists materialises the complete inverted list of every word in the
+// corpus (document-frequency postings, as the abstracts index stores).
+func (e *Env) fullLists() map[postings.WordID]*postings.List {
+	docs := map[postings.WordID][]postings.DocID{}
+	for _, b := range e.Batches {
+		for _, d := range b.Docs {
+			for _, w := range d.Words {
+				docs[w] = append(docs[w], d.ID)
+			}
+		}
+	}
+	out := make(map[postings.WordID]*postings.List, len(docs))
+	for w, ds := range docs {
+		out[w] = postings.FromDocs(ds)
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dualindex/internal/corpus"
+	"dualindex/internal/disk"
+	"dualindex/internal/longlist"
+	"dualindex/internal/sim"
+)
+
+// Env is a prepared experiment environment: the generated corpus and the
+// policy-independent bucket computation, shared by every artifact so that
+// policies are compared on the identical update sequence (the paper's
+// decoupled pipeline).
+type Env struct {
+	Params  Params
+	Batches []*corpus.Batch
+	Trace   *sim.UpdateTrace
+
+	policyRuns map[string]*sim.DiskResult
+}
+
+// NewEnv generates the corpus and runs the compute-buckets stage.
+func NewEnv(p Params) (*Env, error) {
+	batches, err := corpus.GenerateAll(p.Corpus)
+	if err != nil {
+		return nil, err
+	}
+	trace, err := sim.ComputeBuckets(batches, sim.ComputeBucketsConfig{
+		Buckets:       p.Buckets,
+		BucketSize:    p.BucketSize,
+		ObserveBucket: -1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Env{
+		Params:     p,
+		Batches:    batches,
+		Trace:      trace,
+		policyRuns: make(map[string]*sim.DiskResult),
+	}, nil
+}
+
+// diskCfg builds the compute-disks configuration for one policy.
+func (e *Env) diskCfg(p longlist.Policy) sim.DiskConfig {
+	return sim.DiskConfig{
+		Geometry:     e.Params.Geometry,
+		BlockPosting: e.Params.BlockPosting,
+		Policy:       p,
+	}
+}
+
+// RunPolicy runs (and memoises) the compute-disks stage for one policy.
+func (e *Env) RunPolicy(p longlist.Policy) (*sim.DiskResult, error) {
+	key := p.Normalize().String()
+	if r, ok := e.policyRuns[key]; ok {
+		return r, nil
+	}
+	r, err := sim.ComputeDisks(e.Trace, e.diskCfg(p))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: policy %v: %w", p, err)
+	}
+	e.policyRuns[key] = r
+	return r, nil
+}
+
+// Exercise replays a policy's I/O trace on the configured disk profile.
+func (e *Env) Exercise(r *sim.DiskResult) disk.Result {
+	return sim.ExerciseDisks(r.Trace, e.Params.Geometry, e.Params.Profile, e.Params.BufferBlocks)
+}

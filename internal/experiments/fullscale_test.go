@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"testing"
+
+	"dualindex/internal/longlist"
+)
+
+// TestFullScalePaperShapes runs the headline assertions at the full default
+// scale — the configuration behind EXPERIMENTS.md. Skipped under -short.
+func TestFullScalePaperShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale run skipped in -short mode")
+	}
+	env, err := NewEnv(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Table 1: the corpus matches the paper's headline statistics.
+	stats := env.Table1()
+	if stats.FrequentShare < 0.88 {
+		t.Errorf("frequent share %.3f below 0.88", stats.FrequentShare)
+	}
+	if stats.AvgPostingsPerWord < 25 || stats.AvgPostingsPerWord > 45 {
+		t.Errorf("avg postings/word %.1f outside the paper's regime", stats.AvgPostingsPerWord)
+	}
+
+	f8, err := env.Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f9, _ := env.Figure9()
+	f10, _ := env.Figure10()
+	last := func(c PolicyCurves, l string) float64 { s := c.Series[l]; return s[len(s)-1] }
+
+	// Figure 8: in-place ≈ 1.8×; whole within 10% of fill z; whole is top.
+	if r := last(f8, "new z") / last(f8, "new 0"); r < 1.6 || r > 2.2 {
+		t.Errorf("in-place op ratio %.2f outside [1.6, 2.2]", r)
+	}
+	if r := last(f8, "whole 0") / last(f8, "fill z e=2"); r > 1.2 {
+		t.Errorf("whole/fill-z ratio %.2f above the paper's ~20%%", r)
+	}
+
+	// Figure 9: whole ≥ 0.9; limit-0 collapses below 0.25.
+	if last(f9, "whole 0") < 0.9 {
+		t.Errorf("whole utilization %.3f", last(f9, "whole 0"))
+	}
+	if last(f9, "new 0") > 0.25 || last(f9, "fill 0 e=2") > 0.25 {
+		t.Errorf("limit-0 utilization did not collapse: %.3f / %.3f",
+			last(f9, "new 0"), last(f9, "fill 0 e=2"))
+	}
+
+	// Figure 10: whole = 1; fill z < new z (the paper's 2.5× vs 4× order).
+	if last(f10, "whole 0") != 1 {
+		t.Errorf("whole reads %.2f", last(f10, "whole 0"))
+	}
+	if !(last(f10, "fill z e=2") < last(f10, "new z")) {
+		t.Errorf("fill z (%.2f) not below new z (%.2f)",
+			last(f10, "fill z e=2"), last(f10, "new z"))
+	}
+
+	// Figure 13: the ≈8× time spread vs ≈2× op spread, new 0 fastest,
+	// whole 0 slowest and ~20-35% above whole z.
+	tc, err := env.Figures13And14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := func(l string) float64 {
+		c := tc.Cumulative[l]
+		return c[len(c)-1].Seconds()
+	}
+	spread := total("whole 0") / total("new 0")
+	if spread < 6 || spread > 11 {
+		t.Errorf("time spread %.1f outside [6, 11] (paper: ≈8)", spread)
+	}
+	if r := total("whole 0") / total("whole z"); r < 1.1 || r > 1.5 {
+		t.Errorf("whole 0 / whole z = %.2f outside [1.1, 1.5]", r)
+	}
+
+	// Figure 11's cusp: new-style utilization at k=2.0 exceeds k=1.5.
+	pts, err := env.ProportionalSweep(longlist.StyleNew, []float64{1.5, 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(pts[1].Utilization > pts[0].Utilization) {
+		t.Errorf("k=2 cusp missing: util(1.5)=%.3f util(2.0)=%.3f",
+			pts[0].Utilization, pts[1].Utilization)
+	}
+}

@@ -1,0 +1,201 @@
+// Package lexer implements the document tokenizer of the paper's
+// invert-index process (§4.2): sequences of letters and sequences of digits
+// are tokens, all other characters are ignored, certain header lines (such
+// as "Date:") are skipped, tokens are lowercased into words, and duplicate
+// tokens within a document are dropped — yielding the set of words per
+// document that an abstracts-style index records.
+package lexer
+
+import (
+	"sort"
+	"strings"
+)
+
+// Options control tokenization. The zero value gives the paper's behaviour.
+type Options struct {
+	// KeepDuplicates keeps one token per occurrence instead of deduplicating
+	// per document. The paper drops duplicates ("duplicate tokens for a
+	// document are dropped"); full-text positional indexes would keep them.
+	KeepDuplicates bool
+	// SkipHeaders lists line prefixes (matched case-insensitively) whose
+	// whole line is ignored. If nil, DefaultSkipHeaders is used. Pass an
+	// empty non-nil slice to skip nothing.
+	SkipHeaders []string
+	// MinTokenLen drops tokens shorter than this many characters. Zero means
+	// keep all tokens.
+	MinTokenLen int
+	// StopWords are words removed after lowercasing (e.g. "the", "and").
+	// The paper indexes everything ("minus perhaps some stop words"); the
+	// default is no stop list.
+	StopWords map[string]bool
+}
+
+// DefaultSkipHeaders are NetNews/mail header prefixes the paper's lexical
+// analysis ignores ("certain lines of a document (such as 'Date:' lines) are
+// also ignored").
+var DefaultSkipHeaders = []string{
+	"date:", "message-id:", "references:", "path:", "xref:",
+	"nntp-posting-host:", "lines:", "sender:", "received:",
+}
+
+// Tokenize splits a document into lowercase words per the paper's rules.
+// The result is sorted and (unless KeepDuplicates) duplicate-free, matching
+// the paper's Figure 4 example output.
+func Tokenize(doc string, opt Options) []string {
+	skip := opt.SkipHeaders
+	if skip == nil {
+		skip = DefaultSkipHeaders
+	}
+	var tokens []string
+	for _, line := range strings.Split(doc, "\n") {
+		if skipLine(line, skip) {
+			continue
+		}
+		tokens = appendLineTokens(tokens, line, opt)
+	}
+	sort.Strings(tokens)
+	if !opt.KeepDuplicates {
+		tokens = dedupeSorted(tokens)
+	}
+	return tokens
+}
+
+func skipLine(line string, skip []string) bool {
+	trimmed := strings.TrimSpace(line)
+	for _, prefix := range skip {
+		if len(trimmed) >= len(prefix) && strings.EqualFold(trimmed[:len(prefix)], prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// appendLineTokens scans one line for letter-runs and digit-runs. A run of
+// letters ends when a non-letter appears and vice versa, so "abc123" yields
+// two tokens: "abc" and "123".
+func appendLineTokens(tokens []string, line string, opt Options) []string {
+	var b strings.Builder
+	var mode rune // 0 = none, 'a' = letters, 'd' = digits
+	flush := func() {
+		if b.Len() == 0 {
+			return
+		}
+		tok := strings.ToLower(b.String())
+		b.Reset()
+		if opt.MinTokenLen > 0 && len(tok) < opt.MinTokenLen {
+			return
+		}
+		if opt.StopWords[tok] {
+			return
+		}
+		tokens = append(tokens, tok)
+	}
+	for _, r := range line {
+		switch {
+		case isLetter(r):
+			if mode != 'a' {
+				flush()
+				mode = 'a'
+			}
+			b.WriteRune(r)
+		case isDigit(r):
+			if mode != 'd' {
+				flush()
+				mode = 'd'
+			}
+			b.WriteRune(r)
+		default:
+			flush()
+			mode = 0
+		}
+	}
+	flush()
+	return tokens
+}
+
+func isLetter(r rune) bool { return (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') }
+func isDigit(r rune) bool  { return r >= '0' && r <= '9' }
+
+func dedupeSorted(s []string) []string {
+	out := s[:0]
+	for i, t := range s {
+		if i == 0 || t != s[i-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Token is one positional token: the word, its 0-based position in the
+// document's token sequence, and the region it occurred in. The paper's
+// introduction notes postings "may include a variety of information, such
+// as the word offset within the document where w occurs or the region where
+// w occurs (title, abstract, author list, etc.)"; positional tokens are the
+// raw material for proximity and region conditions.
+type Token struct {
+	Word   string
+	Pos    int
+	Region string
+}
+
+// Regions.
+const (
+	RegionTitle = "title"
+	RegionBody  = "body"
+)
+
+// TokenizePositions tokenizes a document keeping order, positions and
+// regions: lines beginning with "Subject:" contribute title-region tokens
+// (the News article's title), skipped header lines contribute nothing, and
+// everything else is body. Duplicates are kept — positions make them
+// meaningful.
+func TokenizePositions(doc string, opt Options) []Token {
+	skip := opt.SkipHeaders
+	if skip == nil {
+		skip = DefaultSkipHeaders
+	}
+	var tokens []Token
+	pos := 0
+	for _, line := range strings.Split(doc, "\n") {
+		region := RegionBody
+		trimmed := strings.TrimSpace(line)
+		if len(trimmed) >= len("subject:") && strings.EqualFold(trimmed[:len("subject:")], "subject:") {
+			region = RegionTitle
+			line = trimmed[len("subject:"):]
+		} else if skipLine(line, skip) {
+			continue
+		}
+		lineOpt := opt
+		lineOpt.KeepDuplicates = true
+		for _, w := range appendLineTokens(nil, line, lineOpt) {
+			tokens = append(tokens, Token{Word: w, Pos: pos, Region: region})
+			pos++
+		}
+	}
+	return tokens
+}
+
+// LooksEnglish applies the paper's corpus filter heuristics: documents that
+// are too short or that look like encoded binaries (a low ratio of letters
+// to total characters) are rejected ("News documents less than N characters
+// in length were eliminated ... non-English language documents (e.g.,
+// encoded binaries and pictures) were filtered out").
+func LooksEnglish(doc string, minLen int) bool {
+	if len(doc) < minLen {
+		return false
+	}
+	letters, total := 0, 0
+	for _, r := range doc {
+		if r == '\n' || r == '\r' {
+			continue
+		}
+		total++
+		if isLetter(r) || r == ' ' {
+			letters++
+		}
+	}
+	if total == 0 {
+		return false
+	}
+	return float64(letters)/float64(total) >= 0.7
+}

@@ -1,0 +1,213 @@
+// Package longlist implements the long-list half of the dual-structure
+// index: the family of disk allocation policies of the paper's Section 3 and
+// the update algorithm of its Figure 2. A policy decides whether a grown
+// list is updated in place, whether new postings go to a fresh chunk, into
+// fixed-size extents, or trigger a full rewrite of the list, and how much
+// reserved space each written chunk gets.
+package longlist
+
+import (
+	"fmt"
+)
+
+// Style is the paper's Style variable: how an in-memory list that cannot be
+// applied in place is combined with the long list on disk.
+type Style uint8
+
+// Styles (Table 2).
+const (
+	// StyleFill fills fixed-size extents of ExtentBlocks blocks each.
+	StyleFill Style = iota
+	// StyleNew writes a new chunk with reserved space.
+	StyleNew
+	// StyleWhole reads the whole long list and rewrites it — with the new
+	// postings appended — as a single contiguous chunk, guaranteeing
+	// one-seek reads forever.
+	StyleWhole
+)
+
+func (s Style) String() string {
+	switch s {
+	case StyleFill:
+		return "fill"
+	case StyleNew:
+		return "new"
+	case StyleWhole:
+		return "whole"
+	}
+	return fmt.Sprintf("style(%d)", s)
+}
+
+// Limit is the paper's Limit variable: the in-place update threshold.
+type Limit uint8
+
+// Limits (Table 2).
+const (
+	// LimitZero never updates in place.
+	LimitZero Limit = iota
+	// LimitZ updates in place whenever the in-memory list fits the reserved
+	// space z at the end of the list's final chunk.
+	LimitZ
+)
+
+func (l Limit) String() string {
+	if l == LimitZero {
+		return "0"
+	}
+	return "z"
+}
+
+// Alloc is the paper's Alloc variable: the reserved-space function f(x) used
+// by WRITE_RESERVED for a list of x postings.
+type Alloc uint8
+
+// Allocation strategies (Table 2).
+const (
+	// AllocConstant reserves a constant extra K postings: f(x) = x + K.
+	AllocConstant Alloc = iota
+	// AllocBlock sizes chunks as multiples of K blocks.
+	AllocBlock
+	// AllocProportional reserves proportionally: f(x) = K·x.
+	AllocProportional
+	// AllocAdaptive reserves per word, based on its observed update sizes:
+	// f(x) = x + K·(size of the word's previous in-memory update). This is
+	// the adaptive scheme of Faloutsos and Jagadish that the paper's
+	// related-work section mentions but does not study; since consecutive
+	// updates to the same word have similar lengths (the source of the
+	// paper's k = 2 cusp), reserving one previous-update's worth targets
+	// exactly one future in-place update per chunk.
+	AllocAdaptive
+)
+
+func (a Alloc) String() string {
+	switch a {
+	case AllocConstant:
+		return "constant"
+	case AllocBlock:
+		return "block"
+	case AllocProportional:
+		return "proportional"
+	case AllocAdaptive:
+		return "adaptive"
+	}
+	return fmt.Sprintf("alloc(%d)", a)
+}
+
+// Policy is a point in the paper's policy space (Table 2).
+type Policy struct {
+	Style Style
+	Limit Limit
+	Alloc Alloc
+	// K is the allocation constant: postings for AllocConstant, blocks for
+	// AllocBlock, a ratio ≥ 1 for AllocProportional.
+	K float64
+	// ExtentBlocks is the paper's e, the fixed extent size of StyleFill.
+	ExtentBlocks int64
+}
+
+// Normalize applies the paper's policy rules: "If Limit = 0, then any
+// reserved space for a chunk is never used, so we automatically set
+// Alloc = constant with k = 0. If Style = fill then the allocation strategy
+// is irrelevant since it is never considered."
+func (p Policy) Normalize() Policy {
+	if p.Limit == LimitZero {
+		p.Alloc = AllocConstant
+		p.K = 0
+	}
+	if p.Style == StyleFill {
+		p.Alloc = AllocConstant
+		p.K = 0
+		if p.ExtentBlocks <= 0 {
+			p.ExtentBlocks = 2
+		}
+	} else {
+		p.ExtentBlocks = 0
+	}
+	if p.Alloc == AllocAdaptive && p.K <= 0 {
+		p.K = 1
+	}
+	return p
+}
+
+// Validate reports whether the (normalized) policy is well-formed.
+func (p Policy) Validate() error {
+	if p.Style > StyleWhole || p.Limit > LimitZ || p.Alloc > AllocAdaptive {
+		return fmt.Errorf("longlist: unknown policy component in %+v", p)
+	}
+	if p.K < 0 {
+		return fmt.Errorf("longlist: negative allocation constant %v", p.K)
+	}
+	if p.Alloc == AllocProportional && p.Limit == LimitZ && p.K < 1 {
+		return fmt.Errorf("longlist: proportional constant %v < 1 would shrink lists", p.K)
+	}
+	if p.Alloc == AllocBlock && p.Limit == LimitZ && p.K < 1 {
+		return fmt.Errorf("longlist: block constant %v < 1 block", p.K)
+	}
+	if p.Style == StyleFill && p.ExtentBlocks <= 0 {
+		return fmt.Errorf("longlist: fill style needs positive extent size")
+	}
+	return nil
+}
+
+// String names the policy the way the paper labels its curves, e.g.
+// "new z proportional 1.2" or "whole 0".
+func (p Policy) String() string {
+	s := fmt.Sprintf("%s %s", p.Style, p.Limit)
+	if p.Style == StyleFill {
+		return fmt.Sprintf("%s e=%d", s, p.ExtentBlocks)
+	}
+	if p.Limit == LimitZ && !(p.Alloc == AllocConstant && p.K == 0) {
+		s += fmt.Sprintf(" %s %g", p.Alloc, p.K)
+	}
+	return s
+}
+
+// The paper's named policies.
+
+// UpdateOptimized is the extreme policy that minimises update time ("this
+// can be achieved by setting Limit = 0 and Style = new"): sequential writes,
+// never a read.
+func UpdateOptimized() Policy {
+	return Policy{Style: StyleNew, Limit: LimitZero}.Normalize()
+}
+
+// QueryOptimized is the extreme policy that minimises query time: every list
+// is always one contiguous chunk, updated in place when possible, with
+// proportional reserved space (the paper's recommendation of k = 1.2 for the
+// whole style).
+func QueryOptimized() Policy {
+	return Policy{Style: StyleWhole, Limit: LimitZ, Alloc: AllocProportional, K: 1.2}.Normalize()
+}
+
+// NewRecommended is the paper's bottom line for the new style: in-place
+// updates with a proportional allocation constant of 2.0.
+func NewRecommended() Policy {
+	return Policy{Style: StyleNew, Limit: LimitZ, Alloc: AllocProportional, K: 2.0}.Normalize()
+}
+
+// FillRecommended is the paper's bottom line for the fill style: extents of
+// 2 blocks with in-place updates.
+func FillRecommended() Policy {
+	return Policy{Style: StyleFill, Limit: LimitZ, ExtentBlocks: 2}.Normalize()
+}
+
+// FigurePolicies returns the five policies whose curves appear in the
+// paper's Figures 8, 9, 10, 13 and 14, keyed by curve label. Limit = z
+// policies use Alloc = constant k = 0, as in §5.2.1 ("this removes the
+// effect of the allocation policies; however, in-place updates are still
+// possible by filling the empty space in the blocks at the end of the
+// list").
+func FigurePolicies() []Policy {
+	ps := []Policy{
+		{Style: StyleNew, Limit: LimitZero},
+		{Style: StyleFill, Limit: LimitZero, ExtentBlocks: 2},
+		{Style: StyleNew, Limit: LimitZ, Alloc: AllocConstant, K: 0},
+		{Style: StyleFill, Limit: LimitZ, ExtentBlocks: 2},
+		{Style: StyleWhole, Limit: LimitZero},
+		{Style: StyleWhole, Limit: LimitZ, Alloc: AllocConstant, K: 0},
+	}
+	for i := range ps {
+		ps[i] = ps[i].Normalize()
+	}
+	return ps
+}

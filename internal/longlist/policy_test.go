@@ -1,0 +1,74 @@
+package longlist
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNormalizeLimitZeroForcesConstantZero(t *testing.T) {
+	p := Policy{Style: StyleNew, Limit: LimitZero, Alloc: AllocProportional, K: 2}.Normalize()
+	if p.Alloc != AllocConstant || p.K != 0 {
+		t.Errorf("Normalize = %+v, want constant k=0", p)
+	}
+}
+
+func TestNormalizeFillIgnoresAlloc(t *testing.T) {
+	p := Policy{Style: StyleFill, Limit: LimitZ, Alloc: AllocProportional, K: 3}.Normalize()
+	if p.Alloc != AllocConstant || p.K != 0 {
+		t.Errorf("fill Normalize kept alloc: %+v", p)
+	}
+	if p.ExtentBlocks != 2 {
+		t.Errorf("fill default extent = %d, want 2", p.ExtentBlocks)
+	}
+	q := Policy{Style: StyleNew, Limit: LimitZero, ExtentBlocks: 7}.Normalize()
+	if q.ExtentBlocks != 0 {
+		t.Errorf("non-fill kept extent: %+v", q)
+	}
+}
+
+func TestValidateRejectsBadPolicies(t *testing.T) {
+	bad := []Policy{
+		{Style: 99},
+		{Style: StyleNew, Limit: LimitZ, Alloc: AllocProportional, K: 0.5},
+		{Style: StyleNew, Limit: LimitZ, Alloc: AllocConstant, K: -1},
+		{Style: StyleFill, Limit: LimitZ, ExtentBlocks: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad policy %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestNamedPoliciesValid(t *testing.T) {
+	for _, p := range []Policy{UpdateOptimized(), QueryOptimized(), NewRecommended(), FillRecommended()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("named policy %v invalid: %v", p, err)
+		}
+	}
+	for _, p := range FigurePolicies() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("figure policy %v invalid: %v", p, err)
+		}
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	tests := []struct {
+		p    Policy
+		want string
+	}{
+		{UpdateOptimized(), "new 0"},
+		{QueryOptimized(), "whole z proportional 1.2"},
+		{FillRecommended(), "fill z e=2"},
+		{Policy{Style: StyleWhole, Limit: LimitZ}.Normalize(), "whole z"},
+	}
+	for _, tt := range tests {
+		if got := tt.p.String(); got != tt.want {
+			t.Errorf("String(%+v) = %q, want %q", tt.p, got, tt.want)
+		}
+	}
+	if !strings.Contains(Style(9).String(), "style") {
+		t.Error("unknown style string")
+	}
+}

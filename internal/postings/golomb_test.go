@@ -1,0 +1,138 @@
+package postings
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGolombRoundtripSimple(t *testing.T) {
+	for _, b := range []uint64{1, 2, 3, 7, 8, 100} {
+		lists := []*List{
+			FromDocs(nil),
+			FromDocs([]DocID{0}),
+			FromDocs([]DocID{0, 1, 2, 3}),
+			FromDocs([]DocID{5, 100, 10_000}),
+			NewList([]Posting{{Doc: 2, Freq: 3}, {Doc: 9, Freq: 1}}),
+		}
+		for _, l := range lists {
+			buf := EncodeGolomb(nil, l, b)
+			got, err := DecodeGolomb(buf, l.Len(), b)
+			if err != nil {
+				t.Fatalf("b=%d: %v", b, err)
+			}
+			if !Equal(got, l) {
+				t.Fatalf("b=%d roundtrip: %v vs %v", b, got.Postings(), l.Postings())
+			}
+		}
+	}
+}
+
+func TestGolombParameter(t *testing.T) {
+	if b := GolombParameter(1_000_000, 1000); b < 600 || b > 800 {
+		t.Errorf("b = %d for N=1e6 f=1e3, want ≈690", b)
+	}
+	if GolombParameter(100, 100) != 1 {
+		t.Error("dense list parameter should be 1")
+	}
+	if GolombParameter(100, 0) != 1 {
+		t.Error("empty list parameter should be 1")
+	}
+}
+
+func TestGolombBeatsVarintOnSparseLists(t *testing.T) {
+	// A sparse list with near-uniform gaps is Golomb's best case; the tuned
+	// parameter must beat the byte-aligned varint coding.
+	r := rand.New(rand.NewSource(3))
+	const totalDocs = 1_000_000
+	docs := make([]DocID, 0, 1000)
+	d := uint32(0)
+	for i := 0; i < 1000; i++ {
+		d += uint32(r.Intn(2000)) + 1
+		docs = append(docs, DocID(d))
+	}
+	l := FromDocs(docs)
+	b := GolombParameter(totalDocs, int64(l.Len()))
+	golomb := GolombSize(l, b)
+	varint := EncodedSize(l)
+	if golomb >= varint {
+		t.Errorf("golomb %d bytes not below varint %d", golomb, varint)
+	}
+	// Both crush the fixed 8-byte records of the mutable long-list store.
+	if golomb >= l.Len()*8/2 {
+		t.Errorf("golomb %d bytes not well below fixed %d", golomb, l.Len()*8)
+	}
+}
+
+func TestGolombDecodeErrors(t *testing.T) {
+	if _, err := DecodeGolomb(nil, 1, 7); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, err := DecodeGolomb([]byte{0xFF, 0xFF}, 1, 0); err == nil {
+		t.Error("zero parameter accepted")
+	}
+	// All-ones stream: runaway unary must terminate with an error.
+	buf := make([]byte, 1<<20)
+	for i := range buf {
+		buf[i] = 0xFF
+	}
+	if _, err := DecodeGolomb(buf, 1, 1); err == nil {
+		t.Error("runaway unary accepted")
+	}
+}
+
+func TestQuickGolombRoundtrip(t *testing.T) {
+	f := func(seed int64, n uint8, bRaw uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := randomList(r, int(n))
+		b := uint64(bRaw%512) + 1
+		got, err := DecodeGolomb(EncodeGolomb(nil, l, b), l.Len(), b)
+		return err == nil && Equal(got, l)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGolombWithFrequencies(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		ps := make([]Posting, 0, n)
+		d := uint32(0)
+		for i := 0; i < int(n); i++ {
+			d += uint32(r.Intn(100)) + 1
+			ps = append(ps, Posting{Doc: DocID(d), Freq: uint32(r.Intn(5) + 1)})
+		}
+		l := NewList(ps)
+		b := GolombParameter(int64(d)+1000, int64(l.Len()))
+		got, err := DecodeGolomb(EncodeGolomb(nil, l, b), l.Len(), b)
+		return err == nil && Equal(got, l)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeGolomb(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	l := randomList(r, 10000)
+	param := GolombParameter(10_000_000, int64(l.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodeGolomb(nil, l, param)
+	}
+}
+
+func BenchmarkDecodeGolomb(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	l := randomList(r, 10000)
+	param := GolombParameter(10_000_000, int64(l.Len()))
+	buf := EncodeGolomb(nil, l, param)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeGolomb(buf, l.Len(), param); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package postings
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIteratorWalk(t *testing.T) {
+	l := FromDocs([]DocID{2, 5, 9})
+	it := l.Iter()
+	var got []DocID
+	for it.Next() {
+		got = append(got, it.Posting().Doc)
+	}
+	if len(got) != 3 || got[0] != 2 || got[2] != 9 {
+		t.Fatalf("walk = %v", got)
+	}
+	if it.Next() {
+		t.Fatal("Next after exhaustion")
+	}
+	if (&List{}).Iter().Next() {
+		t.Fatal("empty iterator advanced")
+	}
+}
+
+func TestIteratorSeek(t *testing.T) {
+	l := FromDocs([]DocID{2, 5, 9, 20})
+	it := l.Iter()
+	if !it.Seek(5) || it.Posting().Doc != 5 {
+		t.Fatalf("Seek(5) → %v", it.Posting())
+	}
+	if !it.Seek(6) || it.Posting().Doc != 9 {
+		t.Fatalf("Seek(6) → %v", it.Posting())
+	}
+	// A target at or before the current posting leaves the iterator put.
+	if !it.Seek(1) || it.Posting().Doc != 9 {
+		t.Fatalf("backward Seek → %v", it.Posting())
+	}
+	if !it.Seek(9) || it.Posting().Doc != 9 {
+		t.Fatalf("Seek to current → %v", it.Posting())
+	}
+	if it.Seek(21) {
+		t.Fatal("Seek past end succeeded")
+	}
+}
+
+func TestUnionAllBasics(t *testing.T) {
+	if UnionAll(nil).Len() != 0 {
+		t.Fatal("empty UnionAll not empty")
+	}
+	single := FromDocs([]DocID{1, 2})
+	if got := UnionAll([]*List{single}); !Equal(got, single) {
+		t.Fatal("single-list UnionAll differs")
+	}
+	got := UnionAll([]*List{
+		FromDocs([]DocID{1, 4}),
+		FromDocs([]DocID{2, 4}),
+		FromDocs([]DocID{3, 4}),
+	})
+	if len(got.Docs()) != 4 {
+		t.Fatalf("UnionAll = %v", got.Docs())
+	}
+	if got.At(3).Freq != 3 {
+		t.Fatalf("shared doc freq = %d, want 3", got.At(3).Freq)
+	}
+}
+
+func TestIntersectAllBasics(t *testing.T) {
+	if IntersectAll(nil).Len() != 0 {
+		t.Fatal("empty IntersectAll not empty")
+	}
+	got := IntersectAll([]*List{
+		FromDocs([]DocID{1, 2, 3, 4, 5}),
+		FromDocs([]DocID{2, 4, 6}),
+		FromDocs([]DocID{4, 5, 6}),
+	})
+	if len(got.Docs()) != 1 || got.Docs()[0] != 4 {
+		t.Fatalf("IntersectAll = %v", got.Docs())
+	}
+	empty := IntersectAll([]*List{FromDocs([]DocID{1}), FromDocs([]DocID{2})})
+	if empty.Len() != 0 {
+		t.Fatal("disjoint intersection non-empty")
+	}
+}
+
+func TestQuickUnionAllMatchesFold(t *testing.T) {
+	f := func(seed int64, k uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(k%8) + 1
+		lists := make([]*List, n)
+		for i := range lists {
+			lists[i] = randomList(r, r.Intn(50))
+		}
+		fast := UnionAll(lists)
+		slow := &List{}
+		for _, l := range lists {
+			slow = Union(slow, l)
+		}
+		return Equal(fast, slow)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIntersectAllMatchesFold(t *testing.T) {
+	f := func(seed int64, k uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(k%4) + 2
+		// Draw from a small doc space so intersections are non-trivial.
+		lists := make([]*List, n)
+		for i := range lists {
+			var docs []DocID
+			for d := DocID(1); d < 60; d++ {
+				if r.Intn(2) == 0 {
+					docs = append(docs, d)
+				}
+			}
+			lists[i] = FromDocs(docs)
+		}
+		fast := IntersectAll(lists)
+		slow := lists[0].Clone()
+		for _, l := range lists[1:] {
+			slow = Intersect(slow, l)
+		}
+		return Equal(fast, slow)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUnionAll(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	lists := make([]*List, 50)
+	for i := range lists {
+		lists[i] = randomList(r, 500)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		UnionAll(lists)
+	}
+}
+
+func BenchmarkUnionFoldBaseline(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	lists := make([]*List, 50)
+	for i := range lists {
+		lists[i] = randomList(r, 500)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := &List{}
+		for _, l := range lists {
+			out = Union(out, l)
+		}
+	}
+}
+
+func BenchmarkIntersectAllSeek(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	small := randomList(r, 100)
+	big := randomList(r, 100_000)
+	lists := []*List{big, small}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		IntersectAll(lists)
+	}
+}

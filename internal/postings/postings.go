@@ -1,0 +1,231 @@
+// Package postings implements posting lists for inverted indexes.
+//
+// A posting records one occurrence of a word in a document. Posting lists
+// are kept sorted by document identifier so that boolean queries can be
+// answered by linear merges, exactly as the paper assumes ("the document
+// identifiers appear in sorted order in inverted lists" and "all long lists
+// are updated by appending new postings").
+//
+// The package also provides a compact on-disk encoding (delta + varint)
+// whose compression ratio is what the paper models implicitly through the
+// BlockPosting parameter.
+package postings
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// DocID identifies a document. New documents receive strictly increasing
+// identifiers, which is what makes append-only long-list maintenance sound.
+type DocID uint32
+
+// WordID identifies a word across the whole index, mirroring the paper's
+// conversion of words to unique integers before the bucket computation.
+type WordID uint32
+
+// Posting records the occurrence of a word in a document. Freq carries the
+// within-document frequency; for an abstracts-style index it is typically 1
+// because duplicate tokens are dropped per document.
+type Posting struct {
+	Doc  DocID
+	Freq uint32
+}
+
+// List is a posting list sorted by ascending document identifier.
+// The zero value is an empty, ready-to-use list.
+type List struct {
+	ps []Posting
+}
+
+// NewList returns a list holding the given postings. The postings must be
+// sorted by ascending DocID with no duplicates; NewList panics otherwise so
+// that corrupted lists are caught at construction time.
+func NewList(ps []Posting) *List {
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Doc <= ps[i-1].Doc {
+			panic(fmt.Sprintf("postings: out of order at %d: %d <= %d", i, ps[i].Doc, ps[i-1].Doc))
+		}
+	}
+	return &List{ps: ps}
+}
+
+// FromDocs builds a list from document identifiers, each with frequency 1.
+// The identifiers may be unsorted and may contain duplicates; duplicates
+// accumulate frequency.
+func FromDocs(docs []DocID) *List {
+	sorted := make([]DocID, len(docs))
+	copy(sorted, docs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	l := &List{}
+	for _, d := range sorted {
+		if n := len(l.ps); n > 0 && l.ps[n-1].Doc == d {
+			l.ps[n-1].Freq++
+			continue
+		}
+		l.ps = append(l.ps, Posting{Doc: d, Freq: 1})
+	}
+	return l
+}
+
+// Len reports the number of postings in the list.
+func (l *List) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.ps)
+}
+
+// At returns the i-th posting.
+func (l *List) At(i int) Posting { return l.ps[i] }
+
+// Postings returns the underlying slice. Callers must not mutate it.
+func (l *List) Postings() []Posting {
+	if l == nil {
+		return nil
+	}
+	return l.ps
+}
+
+// Docs returns the document identifiers in the list, in ascending order.
+func (l *List) Docs() []DocID {
+	out := make([]DocID, l.Len())
+	for i, p := range l.Postings() {
+		out[i] = p.Doc
+	}
+	return out
+}
+
+// Clone returns a deep copy of the list.
+func (l *List) Clone() *List {
+	ps := make([]Posting, l.Len())
+	copy(ps, l.Postings())
+	return &List{ps: ps}
+}
+
+// MaxDoc returns the largest document identifier in the list, or 0 for an
+// empty list. Because lists are sorted this is the last posting.
+func (l *List) MaxDoc() DocID {
+	if l.Len() == 0 {
+		return 0
+	}
+	return l.ps[len(l.ps)-1].Doc
+}
+
+// Contains reports whether the list has a posting for doc.
+func (l *List) Contains(doc DocID) bool {
+	i := sort.Search(l.Len(), func(i int) bool { return l.ps[i].Doc >= doc })
+	return i < l.Len() && l.ps[i].Doc == doc
+}
+
+// ErrAppendOrder is returned when an append would violate the ascending
+// document-identifier invariant.
+var ErrAppendOrder = errors.New("postings: appended postings must have larger doc IDs")
+
+// Append appends the postings of m to l in place. Every document identifier
+// in m must exceed l.MaxDoc(); this mirrors the paper's assumption that new
+// documents are numbered in increasing order so long lists only grow at the
+// tail. Appending a posting for a document already present merges the
+// frequencies only when it is the current tail document.
+func (l *List) Append(m *List) error {
+	if m.Len() == 0 {
+		return nil
+	}
+	if l.Len() > 0 && m.ps[0].Doc <= l.MaxDoc() {
+		return fmt.Errorf("%w: have max %d, got %d", ErrAppendOrder, l.MaxDoc(), m.ps[0].Doc)
+	}
+	l.ps = append(l.ps, m.ps...)
+	return nil
+}
+
+// Intersect returns the postings present in both lists, with frequencies
+// summed, using a linear merge.
+func Intersect(a, b *List) *List {
+	out := &List{}
+	i, j := 0, 0
+	for i < a.Len() && j < b.Len() {
+		switch {
+		case a.ps[i].Doc < b.ps[j].Doc:
+			i++
+		case a.ps[i].Doc > b.ps[j].Doc:
+			j++
+		default:
+			out.ps = append(out.ps, Posting{Doc: a.ps[i].Doc, Freq: a.ps[i].Freq + b.ps[j].Freq})
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Union returns the postings present in either list, with frequencies summed
+// for shared documents, using a linear merge.
+func Union(a, b *List) *List {
+	out := &List{ps: make([]Posting, 0, a.Len()+b.Len())}
+	i, j := 0, 0
+	for i < a.Len() && j < b.Len() {
+		switch {
+		case a.ps[i].Doc < b.ps[j].Doc:
+			out.ps = append(out.ps, a.ps[i])
+			i++
+		case a.ps[i].Doc > b.ps[j].Doc:
+			out.ps = append(out.ps, b.ps[j])
+			j++
+		default:
+			out.ps = append(out.ps, Posting{Doc: a.ps[i].Doc, Freq: a.ps[i].Freq + b.ps[j].Freq})
+			i++
+			j++
+		}
+	}
+	out.ps = append(out.ps, a.ps[i:]...)
+	out.ps = append(out.ps, b.ps[j:]...)
+	return out
+}
+
+// Difference returns the postings of a whose documents do not appear in b.
+func Difference(a, b *List) *List {
+	out := &List{}
+	i, j := 0, 0
+	for i < a.Len() {
+		for j < b.Len() && b.ps[j].Doc < a.ps[i].Doc {
+			j++
+		}
+		if j < b.Len() && b.ps[j].Doc == a.ps[i].Doc {
+			i++
+			continue
+		}
+		out.ps = append(out.ps, a.ps[i])
+		i++
+	}
+	return out
+}
+
+// Filter returns the postings of l whose documents are not rejected by
+// deleted. It implements the paper's deletion scheme of filtering query
+// answers through a list of deleted document identifiers.
+func (l *List) Filter(deleted func(DocID) bool) *List {
+	if deleted == nil {
+		return l.Clone()
+	}
+	out := &List{}
+	for _, p := range l.Postings() {
+		if !deleted(p.Doc) {
+			out.ps = append(out.ps, p)
+		}
+	}
+	return out
+}
+
+// Equal reports whether two lists hold identical postings.
+func Equal(a, b *List) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.Postings() {
+		if a.ps[i] != b.ps[i] {
+			return false
+		}
+	}
+	return true
+}

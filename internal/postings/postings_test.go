@@ -1,0 +1,328 @@
+package postings
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustList(t *testing.T, docs ...DocID) *List {
+	t.Helper()
+	return FromDocs(docs)
+}
+
+func TestNewListValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewList accepted out-of-order postings")
+		}
+	}()
+	NewList([]Posting{{Doc: 2, Freq: 1}, {Doc: 1, Freq: 1}})
+}
+
+func TestNewListAcceptsSorted(t *testing.T) {
+	l := NewList([]Posting{{Doc: 1, Freq: 1}, {Doc: 5, Freq: 2}})
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", l.Len())
+	}
+}
+
+func TestFromDocsSortsAndMergesDuplicates(t *testing.T) {
+	l := FromDocs([]DocID{5, 1, 5, 3, 1, 1})
+	want := []Posting{{1, 3}, {3, 1}, {5, 2}}
+	if l.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", l.Len(), len(want))
+	}
+	for i, w := range want {
+		if l.At(i) != w {
+			t.Errorf("At(%d) = %v, want %v", i, l.At(i), w)
+		}
+	}
+}
+
+func TestEmptyList(t *testing.T) {
+	var l *List
+	if l.Len() != 0 {
+		t.Error("nil list Len != 0")
+	}
+	e := &List{}
+	if e.MaxDoc() != 0 {
+		t.Error("empty MaxDoc != 0")
+	}
+	if e.Contains(1) {
+		t.Error("empty list Contains(1)")
+	}
+}
+
+func TestContains(t *testing.T) {
+	l := mustList(t, 1, 3, 7, 100)
+	for _, d := range []DocID{1, 3, 7, 100} {
+		if !l.Contains(d) {
+			t.Errorf("Contains(%d) = false", d)
+		}
+	}
+	for _, d := range []DocID{0, 2, 8, 101} {
+		if l.Contains(d) {
+			t.Errorf("Contains(%d) = true", d)
+		}
+	}
+}
+
+func TestAppendMaintainsOrder(t *testing.T) {
+	l := mustList(t, 1, 2, 3)
+	if err := l.Append(mustList(t, 4, 5)); err != nil {
+		t.Fatalf("valid append failed: %v", err)
+	}
+	if l.Len() != 5 || l.MaxDoc() != 5 {
+		t.Fatalf("after append Len=%d MaxDoc=%d", l.Len(), l.MaxDoc())
+	}
+}
+
+func TestAppendRejectsOverlap(t *testing.T) {
+	l := mustList(t, 1, 2, 3)
+	if err := l.Append(mustList(t, 3, 4)); err == nil {
+		t.Fatal("append of overlapping docs succeeded")
+	}
+}
+
+func TestAppendEmpty(t *testing.T) {
+	l := mustList(t, 1)
+	if err := l.Append(&List{}); err != nil {
+		t.Fatalf("append empty: %v", err)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	tests := []struct {
+		a, b, want []DocID
+	}{
+		{[]DocID{1, 2, 3}, []DocID{2, 3, 4}, []DocID{2, 3}},
+		{[]DocID{1, 2}, []DocID{3, 4}, nil},
+		{nil, []DocID{1}, nil},
+		{[]DocID{1, 5, 9}, []DocID{1, 5, 9}, []DocID{1, 5, 9}},
+	}
+	for _, tt := range tests {
+		got := Intersect(FromDocs(tt.a), FromDocs(tt.b))
+		if len(got.Docs()) != len(tt.want) {
+			t.Errorf("Intersect(%v,%v) = %v, want %v", tt.a, tt.b, got.Docs(), tt.want)
+			continue
+		}
+		for i, d := range got.Docs() {
+			if d != tt.want[i] {
+				t.Errorf("Intersect(%v,%v)[%d] = %d, want %d", tt.a, tt.b, i, d, tt.want[i])
+			}
+		}
+	}
+}
+
+func TestUnion(t *testing.T) {
+	got := Union(FromDocs([]DocID{1, 3}), FromDocs([]DocID{2, 3, 4}))
+	want := []DocID{1, 2, 3, 4}
+	if len(got.Docs()) != len(want) {
+		t.Fatalf("Union = %v, want %v", got.Docs(), want)
+	}
+	if got.At(2).Freq != 2 {
+		t.Errorf("shared doc freq = %d, want 2", got.At(2).Freq)
+	}
+}
+
+func TestDifference(t *testing.T) {
+	got := Difference(FromDocs([]DocID{1, 2, 3, 4}), FromDocs([]DocID{2, 4, 6}))
+	want := []DocID{1, 3}
+	docs := got.Docs()
+	if len(docs) != len(want) || docs[0] != want[0] || docs[1] != want[1] {
+		t.Fatalf("Difference = %v, want %v", docs, want)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	l := mustList(t, 1, 2, 3, 4)
+	got := l.Filter(func(d DocID) bool { return d%2 == 0 })
+	if len(got.Docs()) != 2 || got.Docs()[0] != 1 || got.Docs()[1] != 3 {
+		t.Fatalf("Filter = %v", got.Docs())
+	}
+	if all := l.Filter(nil); !Equal(all, l) {
+		t.Error("Filter(nil) != original")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	l := mustList(t, 1, 2)
+	c := l.Clone()
+	if err := c.Append(mustList(t, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 2 {
+		t.Error("Append to clone mutated original")
+	}
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	lists := []*List{
+		{},
+		mustList(t, 0),
+		mustList(t, 0, 1, 2),
+		mustList(t, 5, 100, 1_000_000, 4_000_000_000),
+		NewList([]Posting{{Doc: 7, Freq: 300}, {Doc: 8, Freq: 1}}),
+	}
+	for _, l := range lists {
+		buf := Encode(nil, l)
+		if len(buf) != EncodedSize(l) {
+			t.Errorf("EncodedSize = %d, len(Encode) = %d", EncodedSize(l), len(buf))
+		}
+		got, n, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if n != len(buf) {
+			t.Errorf("Decode consumed %d of %d bytes", n, len(buf))
+		}
+		if !Equal(got, l) {
+			t.Errorf("roundtrip mismatch: %v vs %v", got.Postings(), l.Postings())
+		}
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	cases := [][]byte{
+		{},        // missing count
+		{2, 0},    // zero gap
+		{1, 1},    // missing freq
+		{5, 1, 1}, // truncated postings
+		{0xff},    // incomplete varint
+	}
+	for i, buf := range cases {
+		if _, _, err := Decode(buf); err == nil {
+			t.Errorf("case %d: Decode accepted corrupt input %v", i, buf)
+		}
+	}
+}
+
+func randomList(r *rand.Rand, n int) *List {
+	docs := make([]DocID, 0, n)
+	d := uint32(0)
+	for i := 0; i < n; i++ {
+		d += uint32(r.Intn(1000)) + 1
+		docs = append(docs, DocID(d))
+	}
+	return FromDocs(docs)
+}
+
+func TestQuickCodecRoundtrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := randomList(r, int(n))
+		got, used, err := Decode(Encode(nil, l))
+		return err == nil && used == EncodedSize(l) && Equal(got, l)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIntersectCommutes(t *testing.T) {
+	f := func(seed int64, n, m uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomList(r, int(n)), randomList(r, int(m))
+		return Equal(Intersect(a, b), Intersect(b, a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUnionContainsBoth(t *testing.T) {
+	f := func(seed int64, n, m uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomList(r, int(n)), randomList(r, int(m))
+		u := Union(a, b)
+		for _, d := range a.Docs() {
+			if !u.Contains(d) {
+				return false
+			}
+		}
+		for _, d := range b.Docs() {
+			if !u.Contains(d) {
+				return false
+			}
+		}
+		return u.Len() <= a.Len()+b.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	// a \ b == a ∩ complement(b), expressed via Filter.
+	f := func(seed int64, n, m uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomList(r, int(n)), randomList(r, int(m))
+		d1 := Difference(a, b)
+		d2 := a.Filter(func(doc DocID) bool { return b.Contains(doc) })
+		return Equal(d1, d2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAppendEquivalentToUnion(t *testing.T) {
+	f := func(seed int64, n, m uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomList(r, int(n))
+		// Build b strictly beyond a.
+		docs := make([]DocID, 0, m)
+		d := uint32(a.MaxDoc())
+		for i := 0; i < int(m); i++ {
+			d += uint32(r.Intn(100)) + 1
+			docs = append(docs, DocID(d))
+		}
+		b := FromDocs(docs)
+		u := Union(a, b)
+		c := a.Clone()
+		if err := c.Append(b); err != nil {
+			return false
+		}
+		return Equal(c, u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	l := randomList(r, 10000)
+	buf := make([]byte, 0, EncodedSize(l))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = Encode(buf[:0], l)
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+func BenchmarkDecode(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	l := randomList(r, 10000)
+	buf := Encode(nil, l)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+func BenchmarkIntersect(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x, y := randomList(r, 10000), randomList(r, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Intersect(x, y)
+	}
+}

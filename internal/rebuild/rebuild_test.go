@@ -1,0 +1,78 @@
+package rebuild
+
+import (
+	"testing"
+
+	"dualindex/internal/corpus"
+	"dualindex/internal/disk"
+)
+
+func testBatches(t *testing.T) []*corpus.Batch {
+	t.Helper()
+	cfg := corpus.DefaultConfig()
+	cfg.Days = 14
+	cfg.DocsPerDay = 60
+	cfg.WordsPerDoc = 25
+	cfg.VocabSize = 10_000
+	cfg.CoreVocab = 300
+	batches, err := corpus.GenerateAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return batches
+}
+
+func testConfig(every int) Config {
+	return Config{
+		Geometry:     disk.Geometry{NumDisks: 4, BlocksPerDisk: 262_144, BlockSize: 4096},
+		BlockPosting: 200,
+		Profile:      disk.Seagate1993(),
+		Every:        every,
+	}
+}
+
+func TestRunCounts(t *testing.T) {
+	batches := testBatches(t)
+	weekly := Run(batches, testConfig(7))
+	if weekly.Rebuilds != 2 {
+		t.Fatalf("weekly rebuilds = %d, want 2", weekly.Rebuilds)
+	}
+	daily := Run(batches, testConfig(1))
+	if daily.Rebuilds != 14 {
+		t.Fatalf("daily rebuilds = %d", daily.Rebuilds)
+	}
+	// Rebuilding more often costs more total I/O (the whole index is
+	// rewritten every time) but is fresher.
+	if daily.Blocks <= weekly.Blocks || daily.Total <= weekly.Total {
+		t.Errorf("daily (%d blocks, %v) not costlier than weekly (%d blocks, %v)",
+			daily.Blocks, daily.Total, weekly.Blocks, weekly.Total)
+	}
+	if daily.MaxStaleness != 1 || weekly.MaxStaleness != 7 {
+		t.Errorf("staleness %d/%d", daily.MaxStaleness, weekly.MaxStaleness)
+	}
+}
+
+func TestRunLayoutQuality(t *testing.T) {
+	res := Run(testBatches(t), testConfig(7))
+	if res.FinalReadsPerList != 1 {
+		t.Errorf("rebuild reads/list = %v", res.FinalReadsPerList)
+	}
+	if res.FinalUtilization < 0.5 || res.FinalUtilization > 1 {
+		t.Errorf("rebuild utilization = %v", res.FinalUtilization)
+	}
+}
+
+func TestRunDefaultsEvery(t *testing.T) {
+	res := Run(testBatches(t), testConfig(0))
+	if res.Rebuilds != 14 {
+		t.Fatalf("Every=0 rebuilds = %d, want per-batch", res.Rebuilds)
+	}
+}
+
+func TestFinalPartialPeriodRebuilds(t *testing.T) {
+	// 14 batches with Every=5: rebuilds at 5, 10 and the final batch 14.
+	res := Run(testBatches(t), testConfig(5))
+	if res.Rebuilds != 3 {
+		t.Fatalf("rebuilds = %d, want 3", res.Rebuilds)
+	}
+}

@@ -1,0 +1,280 @@
+// Package sim implements the paper's experiment pipeline (§4, Figure 3):
+//
+//	News → Invert Index → batch updates → Compute Buckets → long-list trace
+//	     → Compute Disks → I/O trace → Exercise Disks → times
+//
+// Each stage is a separate process connected by a trace, exactly as in the
+// paper. The decoupling matters: the bucket computation is independent of
+// the long-list policy, so one bucket run drives the compute-disks stage for
+// every policy ("one of the most important [advantages] is the decoupling of
+// each process from the subsequent process").
+package sim
+
+import (
+	"fmt"
+
+	"dualindex/internal/bucket"
+	"dualindex/internal/corpus"
+	"dualindex/internal/directory"
+	"dualindex/internal/disk"
+	"dualindex/internal/longlist"
+	"dualindex/internal/postings"
+)
+
+// LongUpdate is one line of the compute-buckets output trace (Figure 5): a
+// word and the number of postings to append to its long list. The postings
+// may come from the new batch or from a bucket eviction.
+type LongUpdate struct {
+	Word  postings.WordID
+	Count int
+}
+
+// WordStats is the per-update word categorisation behind Figure 7.
+type WordStats struct {
+	Words       int
+	NewWords    int
+	BucketWords int
+	LongWords   int
+	Postings    int64
+}
+
+// Fractions reports the per-update fractions of new, bucket and long words.
+func (w WordStats) Fractions() (newF, bucketF, longF float64) {
+	if w.Words == 0 {
+		return 0, 0, 0
+	}
+	n := float64(w.Words)
+	return float64(w.NewWords) / n, float64(w.BucketWords) / n, float64(w.LongWords) / n
+}
+
+// BucketSample is one Figure 1 animation point: the state of one bucket
+// after a change to it.
+type BucketSample struct {
+	Words    int
+	Postings int
+}
+
+// UpdateTrace is the output of the compute-buckets stage.
+type UpdateTrace struct {
+	// Batches holds the long-list updates of each batch, in arrival order.
+	Batches [][]LongUpdate
+	// Stats holds per-batch word categorisation (Figure 7).
+	Stats []WordStats
+	// BucketUnits is Buckets × BucketSize, the fixed size of the bucket
+	// region that is flushed every batch.
+	BucketUnits int64
+	// Animation holds the Figure 1 samples for the observed bucket, if one
+	// was requested.
+	Animation []BucketSample
+	// FinalBucketWords and FinalBucketPostings describe bucket occupancy
+	// after the last batch.
+	FinalBucketWords    int
+	FinalBucketPostings int
+}
+
+// ComputeBucketsConfig configures the compute-buckets stage.
+type ComputeBucketsConfig struct {
+	Buckets    int
+	BucketSize int
+	// ObserveBucket, when ≥ 0, samples that bucket's occupancy after every
+	// change to it (Figure 1's animation of bucket 3).
+	ObserveBucket int
+	// MaxAnimationSamples bounds the animation length (0 = unlimited).
+	MaxAnimationSamples int
+}
+
+// ComputeBuckets runs the bucket algorithm over a sequence of batch updates
+// and emits the long-list update trace. This is the paper's compute-buckets
+// process: word-occurrence pairs in, long-list updates out.
+func ComputeBuckets(batches []*corpus.Batch, cfg ComputeBucketsConfig) (*UpdateTrace, error) {
+	set, err := bucket.NewSet(bucket.Config{NumBuckets: cfg.Buckets, BucketSize: cfg.BucketSize})
+	if err != nil {
+		return nil, err
+	}
+	out := &UpdateTrace{BucketUnits: int64(cfg.Buckets) * int64(cfg.BucketSize)}
+	if cfg.ObserveBucket >= 0 {
+		set.SetObserver(func(b int) {
+			if b != cfg.ObserveBucket {
+				return
+			}
+			if cfg.MaxAnimationSamples > 0 && len(out.Animation) >= cfg.MaxAnimationSamples {
+				return
+			}
+			out.Animation = append(out.Animation, BucketSample{
+				Words:    set.WordsIn(b),
+				Postings: set.PostingsIn(b),
+			})
+		})
+	}
+
+	long := make(map[postings.WordID]bool)
+	for _, b := range batches {
+		var updates []LongUpdate
+		var st WordStats
+		for _, wc := range b.Update() {
+			st.Words++
+			st.Postings += int64(wc.Count)
+			switch {
+			case long[wc.Word]:
+				st.LongWords++
+				updates = append(updates, LongUpdate{wc.Word, wc.Count})
+				continue
+			case set.Contains(wc.Word):
+				st.BucketWords++
+			default:
+				st.NewWords++
+			}
+			evs, err := set.Add(wc.Word, wc.Count, nil)
+			if err != nil {
+				return nil, err
+			}
+			for _, ev := range evs {
+				long[ev.Word] = true
+				updates = append(updates, LongUpdate{ev.Word, ev.Count})
+			}
+		}
+		out.Batches = append(out.Batches, updates)
+		out.Stats = append(out.Stats, st)
+	}
+	out.FinalBucketWords = set.TotalWords()
+	out.FinalBucketPostings = set.TotalLoad() - set.TotalWords()
+	return out, nil
+}
+
+// DiskConfig configures the compute-disks stage (Table 4 variables).
+type DiskConfig struct {
+	Geometry     disk.Geometry
+	BlockPosting int64
+	Policy       longlist.Policy
+	// UseBuddy swaps the paper's first-fit free-space management for the
+	// buddy system (the related-work alternative), for the allocator
+	// ablation experiment.
+	UseBuddy bool
+}
+
+// UpdateMetrics records the state of the index after one batch update — the
+// y-values of Figures 8, 9 and 10.
+type UpdateMetrics struct {
+	CumOps          int64
+	Utilization     float64
+	AvgReadsPerList float64
+	LongLists       int
+	CumInPlace      int64
+}
+
+// DiskResult is the output of the compute-disks stage.
+type DiskResult struct {
+	PerUpdate []UpdateMetrics
+	Trace     *disk.Trace
+	Stats     longlist.Stats
+	Dir       *directory.Dir
+	// FreeBlocksEnd and TotalBlocks describe final disk occupancy. With the
+	// buddy allocator, Total − Free exceeds the blocks the directory knows
+	// about: the difference is the buddy system's rounding waste.
+	FreeBlocksEnd int64
+	TotalBlocks   int64
+}
+
+// flushChunk locates one piece of a flushed bucket/directory image.
+type flushChunk struct {
+	d             int
+	block, blocks int64
+}
+
+// ComputeDisks replays a long-list update trace under one allocation policy,
+// producing the exact sequence of I/O operations (Figure 6), including the
+// per-batch flush of the bucket region, the directory and the superblock.
+func ComputeDisks(tr *UpdateTrace, cfg DiskConfig) (*DiskResult, error) {
+	if cfg.BlockPosting <= 0 {
+		return nil, fmt.Errorf("sim: BlockPosting must be positive")
+	}
+	newAlloc := func(total int64) disk.Allocator { return disk.NewFreeList(total) }
+	if cfg.UseBuddy {
+		newAlloc = func(total int64) disk.Allocator { return disk.NewBuddy(total) }
+	}
+	array, err := disk.NewArrayWith(cfg.Geometry, nil, newAlloc)
+	if err != nil {
+		return nil, err
+	}
+	const superBlocks = 4
+	if err := array.Reserve(0, 0, superBlocks); err != nil {
+		return nil, err
+	}
+	dir := directory.New()
+	mgr, err := longlist.NewManager(cfg.Policy, array, dir, cfg.BlockPosting)
+	if err != nil {
+		return nil, err
+	}
+
+	bucketBlocksTotal := (tr.BucketUnits + cfg.BlockPosting - 1) / cfg.BlockPosting
+	n := int64(cfg.Geometry.NumDisks)
+	bucketPerDisk := (bucketBlocksTotal + n - 1) / n
+
+	res := &DiskResult{Trace: array.Trace(), Dir: dir}
+	var prevBuckets, prevDir []flushChunk
+	for batchNo, updates := range tr.Batches {
+		for _, u := range updates {
+			if err := mgr.Append(u.Word, int64(u.Count), nil); err != nil {
+				return nil, fmt.Errorf("sim: batch %d word %d: %w", batchNo, u.Word, err)
+			}
+		}
+		// Flush: bucket region striped across disks, directory, superblock.
+		var newBuckets, newDir []flushChunk
+		for d := 0; d < cfg.Geometry.NumDisks; d++ {
+			block, err := array.Alloc(d, bucketPerDisk)
+			if err != nil {
+				return nil, fmt.Errorf("sim: bucket flush batch %d: %w", batchNo, err)
+			}
+			if err := array.WriteBlocksAt(d, block, bucketPerDisk, nil, disk.TagBucket); err != nil {
+				return nil, err
+			}
+			newBuckets = append(newBuckets, flushChunk{d, block, bucketPerDisk})
+		}
+		dirBlocks := cfg.Geometry.BlocksFor(int64(dir.EncodedSize()))
+		if dirBlocks == 0 {
+			dirBlocks = 1
+		}
+		dd := batchNo % cfg.Geometry.NumDisks
+		dirBlock, err := array.Alloc(dd, dirBlocks)
+		if err != nil {
+			return nil, fmt.Errorf("sim: directory flush batch %d: %w", batchNo, err)
+		}
+		if err := array.WriteBlocksAt(dd, dirBlock, dirBlocks, nil, disk.TagDirectory); err != nil {
+			return nil, err
+		}
+		newDir = append(newDir, flushChunk{dd, dirBlock, dirBlocks})
+		if err := array.WriteBlocksAt(0, 0, superBlocks, nil, disk.TagDirectory); err != nil {
+			return nil, err
+		}
+		for _, r := range prevBuckets {
+			array.Free(r.d, r.block, r.blocks)
+		}
+		for _, r := range prevDir {
+			array.Free(r.d, r.block, r.blocks)
+		}
+		prevBuckets, prevDir = newBuckets, newDir
+		mgr.EndBatch()
+		array.EndBatch()
+
+		res.PerUpdate = append(res.PerUpdate, UpdateMetrics{
+			CumOps:          array.Ops(),
+			Utilization:     dir.Utilization(),
+			AvgReadsPerList: dir.AvgReadsPerList(),
+			LongLists:       dir.NumWords(),
+			CumInPlace:      mgr.Stats().InPlace,
+		})
+	}
+	res.Stats = mgr.Stats()
+	res.FreeBlocksEnd = array.FreeBlocks()
+	res.TotalBlocks = int64(cfg.Geometry.NumDisks) * cfg.Geometry.BlocksPerDisk
+	return res, nil
+}
+
+// ExerciseDisks replays the I/O trace on the timing model — the paper's
+// exercise-disks process.
+func ExerciseDisks(tr *disk.Trace, geo disk.Geometry, profile disk.Profile, bufferBlocks int64) disk.Result {
+	e := disk.NewExerciser(geo)
+	e.Profile = profile
+	e.BufferBlocks = bufferBlocks
+	return e.Run(tr)
+}

@@ -1,0 +1,307 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"dualindex/internal/core"
+	"dualindex/internal/corpus"
+	"dualindex/internal/disk"
+	"dualindex/internal/longlist"
+	"dualindex/internal/postings"
+)
+
+func testBatches(t *testing.T, days int) []*corpus.Batch {
+	t.Helper()
+	cfg := corpus.DefaultConfig()
+	cfg.Days = days
+	cfg.DocsPerDay = 60
+	cfg.WordsPerDoc = 25
+	cfg.VocabSize = 10_000
+	cfg.CoreVocab = 300
+	cfg.TinyUpdateDay = -1
+	batches, err := corpus.GenerateAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return batches
+}
+
+func testBucketCfg() ComputeBucketsConfig {
+	return ComputeBucketsConfig{Buckets: 64, BucketSize: 256, ObserveBucket: -1}
+}
+
+func testDiskCfg(p longlist.Policy) DiskConfig {
+	return DiskConfig{
+		Geometry:     disk.Geometry{NumDisks: 2, BlocksPerDisk: 131072, BlockSize: 512},
+		BlockPosting: 10,
+		Policy:       p,
+	}
+}
+
+func TestComputeBucketsTraceShape(t *testing.T) {
+	batches := testBatches(t, 10)
+	tr, err := ComputeBuckets(batches, testBucketCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Batches) != 10 || len(tr.Stats) != 10 {
+		t.Fatalf("batches=%d stats=%d", len(tr.Batches), len(tr.Stats))
+	}
+	// First update: everything is new, nothing is long.
+	nf, bf, lf := tr.Stats[0].Fractions()
+	if nf != 1 || bf != 0 || lf != 0 {
+		t.Errorf("first update fractions: %v %v %v", nf, bf, lf)
+	}
+	// Later updates: bucket words dominate, some long words exist.
+	nfL, bfL, lfL := tr.Stats[9].Fractions()
+	if nfL > 0.5 {
+		t.Errorf("late new-word fraction %v too high", nfL)
+	}
+	if bfL == 0 || lfL == 0 {
+		t.Errorf("late fractions missing categories: bucket=%v long=%v", bfL, lfL)
+	}
+	// Eventually evictions produce long-list updates.
+	total := 0
+	for _, b := range tr.Batches {
+		total += len(b)
+	}
+	if total == 0 {
+		t.Fatal("no long-list updates generated")
+	}
+	if tr.FinalBucketWords == 0 || tr.FinalBucketPostings == 0 {
+		t.Error("final bucket occupancy empty")
+	}
+}
+
+func TestComputeBucketsAnimation(t *testing.T) {
+	batches := testBatches(t, 5)
+	cfg := testBucketCfg()
+	cfg.ObserveBucket = 3
+	cfg.MaxAnimationSamples = 500
+	tr, err := ComputeBuckets(batches, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Animation) == 0 {
+		t.Fatal("no animation samples")
+	}
+	if len(tr.Animation) > 500 {
+		t.Fatalf("animation exceeded cap: %d", len(tr.Animation))
+	}
+	// Samples may transiently exceed the bucket size at the overflow moment
+	// (Figure 1's spikes), but an eviction must then bring the bucket back
+	// within capacity: overshoot never persists across two samples.
+	for i, s := range tr.Animation {
+		if s.Words < 0 || s.Postings < 0 {
+			t.Fatalf("negative sample %d: %+v", i, s)
+		}
+		if i > 0 {
+			prev := tr.Animation[i-1]
+			if prev.Words+prev.Postings > cfg.BucketSize && s.Words+s.Postings > cfg.BucketSize {
+				t.Fatalf("overshoot persisted at samples %d-%d: %+v → %+v", i-1, i, prev, s)
+			}
+		}
+	}
+	// The bucket must fill over time: the last sample is fuller than the first.
+	first, last := tr.Animation[0], tr.Animation[len(tr.Animation)-1]
+	if last.Words+last.Postings <= first.Words+first.Postings {
+		t.Errorf("bucket did not fill: first %+v last %+v", first, last)
+	}
+}
+
+func TestComputeDisksPolicyOrdering(t *testing.T) {
+	batches := testBatches(t, 15)
+	tr, err := ComputeBuckets(batches, testBucketCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := map[string]int64{}
+	utils := map[string]float64{}
+	reads := map[string]float64{}
+	for _, p := range longlist.FigurePolicies() {
+		res, err := ComputeDisks(tr, testDiskCfg(p))
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		last := res.PerUpdate[len(res.PerUpdate)-1]
+		ops[p.String()] = last.CumOps
+		utils[p.String()] = last.Utilization
+		reads[p.String()] = last.AvgReadsPerList
+	}
+	// Figure 8 orderings: limit-0 styles cheapest; whole bounds the new
+	// style from above (one read + one write per append, in-place or not).
+	if !(ops["new 0"] <= ops["new z"] && ops["fill 0 e=2"] <= ops["fill z e=2"]) {
+		t.Errorf("in-place updates did not cost more ops: %v", ops)
+	}
+	if ops["whole 0"] < ops["new z"] {
+		t.Errorf("whole style below new z: %v", ops)
+	}
+	if ops["whole 0"] != ops["whole z"] {
+		t.Errorf("whole 0 and whole z should count the same ops: %v", ops)
+	}
+	// Figure 9 orderings: whole near-fully utilized (only block-rounding
+	// slack), limit-0 wasteful.
+	if utils["whole 0"] < 0.95 {
+		t.Errorf("whole utilization %v < 0.95", utils["whole 0"])
+	}
+	if !(utils["new 0"] < utils["new z"] && utils["fill 0 e=2"] < utils["fill z e=2"]) {
+		t.Errorf("in-place updates did not improve utilization: %v", utils)
+	}
+	// Figure 10 orderings: whole reads = 1; others worse.
+	if reads["whole 0"] != 1.0 {
+		t.Errorf("whole reads = %v", reads["whole 0"])
+	}
+	if !(reads["new z"] <= reads["new 0"] && reads["fill z e=2"] <= reads["fill 0 e=2"]) {
+		t.Errorf("in-place updates did not improve read cost: %v", reads)
+	}
+}
+
+func TestComputeDisksMatchesCoreIndex(t *testing.T) {
+	// The decoupled pipeline must produce exactly the same I/O operation
+	// count and final index metrics as driving the full core.Index, for
+	// every figure policy — this pins the two implementations together.
+	batches := testBatches(t, 8)
+	tr, err := ComputeBuckets(batches, testBucketCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range longlist.FigurePolicies() {
+		res, err := ComputeDisks(tr, testDiskCfg(p))
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		ix, err := core.New(core.Config{
+			Buckets:      64,
+			BucketSize:   256,
+			BlockPosting: 10,
+			Geometry:     disk.Geometry{NumDisks: 2, BlocksPerDisk: 131072, BlockSize: 512},
+			Policy:       p,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range batches {
+			if _, err := ix.ApplyBatch(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		simLast := res.PerUpdate[len(res.PerUpdate)-1]
+		if got := ix.Array().Ops(); got != simLast.CumOps {
+			t.Errorf("%v: core ops %d != sim ops %d", p, got, simLast.CumOps)
+		}
+		if got := ix.Directory().Utilization(); got != simLast.Utilization {
+			t.Errorf("%v: core util %v != sim util %v", p, got, simLast.Utilization)
+		}
+		if got := ix.Directory().AvgReadsPerList(); got != simLast.AvgReadsPerList {
+			t.Errorf("%v: core reads %v != sim reads %v", p, got, simLast.AvgReadsPerList)
+		}
+		if got := ix.Directory().NumWords(); got != simLast.LongLists {
+			t.Errorf("%v: core long lists %d != sim %d", p, got, simLast.LongLists)
+		}
+	}
+}
+
+func TestComputeDisksValidation(t *testing.T) {
+	tr := &UpdateTrace{BucketUnits: 100, Batches: [][]LongUpdate{{}}}
+	cfg := testDiskCfg(longlist.UpdateOptimized())
+	cfg.BlockPosting = 0
+	if _, err := ComputeDisks(tr, cfg); err == nil {
+		t.Fatal("zero BlockPosting accepted")
+	}
+}
+
+func TestExerciseDisksTimesGrow(t *testing.T) {
+	batches := testBatches(t, 10)
+	tr, err := ComputeBuckets(batches, testBucketCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo := testDiskCfg(longlist.UpdateOptimized()).Geometry
+	res, err := ComputeDisks(tr, testDiskCfg(longlist.UpdateOptimized()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	result := ExerciseDisks(res.Trace, geo, disk.Seagate1993(), 256)
+	if len(result.Batches) != 10 {
+		t.Fatalf("batches = %d", len(result.Batches))
+	}
+	if result.Total() <= 0 {
+		t.Fatal("zero total time")
+	}
+	// A faster disk profile must finish sooner.
+	fast := ExerciseDisks(res.Trace, geo, disk.FastSCSI1995(), 256)
+	if fast.Total() >= result.Total() {
+		t.Errorf("fast disk (%v) not faster than 1993 disk (%v)", fast.Total(), result.Total())
+	}
+	// An optical disk must be slower.
+	optical := ExerciseDisks(res.Trace, geo, disk.Optical1993(), 256)
+	if optical.Total() <= result.Total() {
+		t.Errorf("optical (%v) not slower than magnetic (%v)", optical.Total(), result.Total())
+	}
+}
+
+func TestWordStatsFractionsEmpty(t *testing.T) {
+	nf, bf, lf := (WordStats{}).Fractions()
+	if nf != 0 || bf != 0 || lf != 0 {
+		t.Fatal("empty stats fractions not zero")
+	}
+}
+
+func TestLongUpdatePostingsConserved(t *testing.T) {
+	// Postings entering long lists + postings resident in buckets must equal
+	// all postings of the corpus.
+	batches := testBatches(t, 6)
+	tr, err := ComputeBuckets(batches, testBucketCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var corpusPostings, longPostings int64
+	for _, b := range batches {
+		for _, d := range b.Docs {
+			corpusPostings += int64(len(d.Words))
+		}
+	}
+	for _, us := range tr.Batches {
+		for _, u := range us {
+			longPostings += int64(u.Count)
+		}
+	}
+	if longPostings+int64(tr.FinalBucketPostings) != corpusPostings {
+		t.Fatalf("postings not conserved: long %d + bucket %d != corpus %d",
+			longPostings, tr.FinalBucketPostings, corpusPostings)
+	}
+	_ = postings.WordID(0)
+}
+
+func TestTraceFileRoundtripThroughPipeline(t *testing.T) {
+	// The paper's processes are connected by trace files: serialising the
+	// compute-disks output and replaying the parsed copy must give exactly
+	// the same modelled times as the in-memory trace.
+	batches := testBatches(t, 6)
+	tr, err := ComputeBuckets(batches, testBucketCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testDiskCfg(longlist.QueryOptimized())
+	res, err := ComputeDisks(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Trace.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := disk.ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := ExerciseDisks(res.Trace, cfg.Geometry, disk.Seagate1993(), 256)
+	viaFile := ExerciseDisks(parsed, cfg.Geometry, disk.Seagate1993(), 256)
+	if direct.Total() != viaFile.Total() {
+		t.Fatalf("file roundtrip changed timing: %v vs %v", direct.Total(), viaFile.Total())
+	}
+	if len(direct.Batches) != len(viaFile.Batches) {
+		t.Fatal("batch count changed")
+	}
+}

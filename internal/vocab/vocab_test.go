@@ -1,0 +1,157 @@
+package vocab
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAssignAndLookup(t *testing.T) {
+	v := New()
+	a := v.GetOrAssign("cat")
+	b := v.GetOrAssign("dog")
+	if a == b {
+		t.Fatal("distinct words share an id")
+	}
+	if again := v.GetOrAssign("cat"); again != a {
+		t.Fatalf("reassigned: %d != %d", again, a)
+	}
+	if id, ok := v.Lookup("cat"); !ok || id != a {
+		t.Fatal("Lookup failed")
+	}
+	if _, ok := v.Lookup("bird"); ok {
+		t.Fatal("Lookup of unknown word succeeded")
+	}
+	if w, ok := v.Word(a); !ok || w != "cat" {
+		t.Fatalf("Word(%d) = %q, %v", a, w, ok)
+	}
+	if _, ok := v.Word(99); ok {
+		t.Fatal("Word of unknown id succeeded")
+	}
+	if v.Len() != 2 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+}
+
+func TestIDsAreDense(t *testing.T) {
+	v := New()
+	for i, w := range []string{"a", "b", "c", "d"} {
+		if id := v.GetOrAssign(w); int(id) != i {
+			t.Fatalf("id for %q = %d, want %d", w, id, i)
+		}
+	}
+}
+
+func TestSerializationRoundtrip(t *testing.T) {
+	v := New()
+	for _, w := range []string{"cat", "dog", "mouse", "42"} {
+		v.GetOrAssign(w)
+	}
+	var buf bytes.Buffer
+	if _, err := v.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != v.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), v.Len())
+	}
+	for _, w := range []string{"cat", "dog", "mouse", "42"} {
+		a, _ := v.Lookup(w)
+		b, ok := got.Lookup(w)
+		if !ok || a != b {
+			t.Errorf("word %q: %d vs %d (ok=%v)", w, a, b, ok)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"notanumber\n",
+		"3\ncat\ndog\n", // truncated
+		"2\ncat\ncat\n", // duplicate
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("Read(%q) succeeded", c)
+		}
+	}
+}
+
+func TestQuickRoundtrip(t *testing.T) {
+	f := func(n uint8) bool {
+		v := New()
+		for i := 0; i < int(n); i++ {
+			v.GetOrAssign(word(i))
+		}
+		var buf bytes.Buffer
+		if _, err := v.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || got.Len() != v.Len() {
+			return false
+		}
+		for i := 0; i < int(n); i++ {
+			a, _ := v.Lookup(word(i))
+			b, ok := got.Lookup(word(i))
+			if !ok || a != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func word(i int) string {
+	const letters = "abcdefghij"
+	var b strings.Builder
+	for {
+		b.WriteByte(letters[i%10])
+		i /= 10
+		if i == 0 {
+			return b.String()
+		}
+	}
+}
+
+func TestWordsWithPrefix(t *testing.T) {
+	v := New()
+	for _, w := range []string{"invert", "inverted", "index", "inversion", "zebra"} {
+		v.GetOrAssign(w)
+	}
+	got := v.WordsWithPrefix("inver")
+	want := []string{"inversion", "invert", "inverted"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("WordsWithPrefix = %v, want %v", got, want)
+	}
+	if got := v.WordsWithPrefix("zz"); len(got) != 0 {
+		t.Fatalf("no-match prefix = %v", got)
+	}
+	// The full vocabulary, in order, under the empty prefix.
+	all := v.WordsWithPrefix("")
+	if len(all) != 5 || all[0] != "index" || all[4] != "zebra" {
+		t.Fatalf("empty prefix = %v", all)
+	}
+	// Serialisation keeps the dictionary: a reloaded vocabulary answers the
+	// same prefix scans.
+	var buf bytes.Buffer
+	if _, err := v.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2 := re.WordsWithPrefix("inver")
+	if strings.Join(got2, ",") != strings.Join(want, ",") {
+		t.Fatalf("reloaded WordsWithPrefix = %v", got2)
+	}
+}

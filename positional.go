@@ -1,0 +1,180 @@
+package dualindex
+
+import (
+	"fmt"
+
+	"dualindex/internal/lexer"
+	"dualindex/internal/postings"
+)
+
+// The positional query layer: phrase, proximity and region conditions from
+// the paper's introduction ("the query may also give additional conditions,
+// such as requiring that cat and dog occur within so many words of each
+// other, or that mouse occur within a title region"). The inverted index
+// prunes to candidate documents; the document store verifies positions —
+// the classic candidate-verification design for an abstracts-level index.
+
+// Document returns the stored text of a document. It requires
+// Options.KeepDocuments and returns ok=false for unknown or deleted
+// documents.
+func (e *Engine) Document(id DocID) (text string, ok bool, err error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.docs == nil {
+		return "", false, fmt.Errorf("dualindex: Options.KeepDocuments not enabled")
+	}
+	if e.index.IsDeleted(id) {
+		return "", false, nil
+	}
+	return e.docs.Get(id)
+}
+
+// SearchPhrase finds documents containing the exact word sequence of
+// phrase (adjacent positions, in order). Requires Options.KeepDocuments.
+func (e *Engine) SearchPhrase(phrase string) ([]DocID, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	words := lexer.Tokenize(phrase, e.opts.Lexer)
+	if len(words) == 0 {
+		return nil, fmt.Errorf("dualindex: empty phrase")
+	}
+	return e.verifyCandidates(words, func(toks []lexer.Token) bool {
+		return containsPhrase(toks, orderedWords(phrase, e.opts.Lexer))
+	})
+}
+
+// SearchNear finds documents where w1 and w2 occur within k words of each
+// other (in either order). Requires Options.KeepDocuments.
+func (e *Engine) SearchNear(w1, w2 string, k int) ([]DocID, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if k < 1 {
+		return nil, fmt.Errorf("dualindex: proximity window %d < 1", k)
+	}
+	a, b := normalizeWord(w1, e.opts.Lexer), normalizeWord(w2, e.opts.Lexer)
+	if a == "" || b == "" {
+		return nil, fmt.Errorf("dualindex: bad proximity words %q, %q", w1, w2)
+	}
+	return e.verifyCandidates([]string{a, b}, func(toks []lexer.Token) bool {
+		return containsNear(toks, a, b, k)
+	})
+}
+
+// SearchInRegion finds documents where word occurs within the named region
+// ("title" or "body"). Requires Options.KeepDocuments.
+func (e *Engine) SearchInRegion(word, region string) ([]DocID, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if region != lexer.RegionTitle && region != lexer.RegionBody {
+		return nil, fmt.Errorf("dualindex: unknown region %q", region)
+	}
+	w := normalizeWord(word, e.opts.Lexer)
+	if w == "" {
+		return nil, fmt.Errorf("dualindex: bad region word %q", word)
+	}
+	return e.verifyCandidates([]string{w}, func(toks []lexer.Token) bool {
+		for _, tok := range toks {
+			if tok.Word == w && tok.Region == region {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// verifyCandidates intersects the inverted lists of words (the index-level
+// prune) and keeps the candidates whose stored text satisfies check.
+func (e *Engine) verifyCandidates(words []string, check func([]lexer.Token) bool) ([]DocID, error) {
+	if e.docs == nil {
+		return nil, fmt.Errorf("dualindex: positional queries need Options.KeepDocuments")
+	}
+	var candidates *postings.List
+	for _, w := range words {
+		l, err := e.list(w)
+		if err != nil {
+			return nil, err
+		}
+		if candidates == nil {
+			candidates = l
+		} else {
+			candidates = postings.Intersect(candidates, l)
+		}
+		if candidates.Len() == 0 {
+			return nil, nil
+		}
+	}
+	var out []DocID
+	for _, d := range candidates.Docs() {
+		text, ok, err := e.docs.Get(d)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("dualindex: indexed document %d missing from the document store", d)
+		}
+		if check(lexer.TokenizePositions(text, e.opts.Lexer)) {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// orderedWords tokenizes a phrase preserving order and duplicates.
+func orderedWords(phrase string, opt lexer.Options) []string {
+	toks := lexer.TokenizePositions(phrase, opt)
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Word
+	}
+	return out
+}
+
+func normalizeWord(w string, opt lexer.Options) string {
+	ws := lexer.Tokenize(w, opt)
+	if len(ws) != 1 {
+		return ""
+	}
+	return ws[0]
+}
+
+// containsPhrase reports whether the token sequence contains the words at
+// consecutive positions. Position gaps (from dropped stop words or region
+// boundaries) break adjacency, as they should.
+func containsPhrase(toks []lexer.Token, words []string) bool {
+	if len(words) == 0 {
+		return false
+	}
+outer:
+	for i := 0; i+len(words) <= len(toks); i++ {
+		for j, w := range words {
+			if toks[i+j].Word != w || toks[i+j].Pos != toks[i].Pos+j {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// containsNear reports whether a and b occur within k positions.
+func containsNear(toks []lexer.Token, a, b string, k int) bool {
+	lastA, lastB := -1, -1
+	for _, t := range toks {
+		switch t.Word {
+		case a:
+			if lastB >= 0 && t.Pos-lastB <= k {
+				return true
+			}
+			lastA = t.Pos
+			if a == b {
+				lastB = t.Pos
+			}
+		case b:
+			if lastA >= 0 && t.Pos-lastA <= k {
+				return true
+			}
+			lastB = t.Pos
+		}
+	}
+	return false
+}
