@@ -1,0 +1,19 @@
+# Convenience targets; `make check` is the gate a change must pass.
+
+.PHONY: check build test race bench
+
+check:
+	./scripts/check.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# The parallel-path benchmarks (flush, query fetch, block cache).
+bench:
+	go test -bench 'Parallel|BlockCache' -run '^$$' .

@@ -1,0 +1,241 @@
+// Benchmarks for the parallel hot paths: the per-disk batch apply, the
+// concurrent query fetch, and the block cache. Each pair of sub-benchmarks
+// compares the serial and parallel (or uncached and cached) execution of
+// the same work over a latency-modelled store, so what is measured is I/O
+// overlap — the effect the paper's multi-disk array makes possible — rather
+// than memcpy speed. TestParallelBenchReport reruns the pairs through
+// testing.Benchmark and writes the speedups to BENCH_parallel.json.
+package dualindex
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"dualindex/internal/cache"
+	"dualindex/internal/core"
+	"dualindex/internal/disk"
+	"dualindex/internal/longlist"
+	"dualindex/internal/postings"
+	"dualindex/internal/query"
+)
+
+// benchDelay models one disk operation's service time. Small enough to keep
+// the suite quick, large enough to dominate the in-memory bookkeeping.
+const benchDelay = 30 * time.Microsecond
+
+// slowStore adds a fixed latency to every read and write of an in-memory
+// store — a stand-in for disk service time.
+type slowStore struct {
+	disk.BlockStore
+	delay time.Duration
+}
+
+func (s slowStore) ReadAt(d int, block int64, buf []byte) error {
+	time.Sleep(s.delay)
+	return s.BlockStore.ReadAt(d, block, buf)
+}
+
+func (s slowStore) WriteAt(d int, block int64, buf []byte) error {
+	time.Sleep(s.delay)
+	return s.BlockStore.WriteAt(d, block, buf)
+}
+
+// benchBatches builds numBatches batch updates of numWords words each, big
+// enough that every word is evicted to a long list and appended to on every
+// later batch — the flush path's worst case.
+func benchBatches(numBatches, numWords, perWord int) [][]core.WordUpdate {
+	out := make([][]core.WordUpdate, numBatches)
+	for bi := range out {
+		updates := make([]core.WordUpdate, numWords)
+		for wi := range updates {
+			docs := make([]postings.DocID, perWord)
+			for d := range docs {
+				docs[d] = postings.DocID(bi*numWords*perWord + wi*perWord + d + 1)
+			}
+			list := postings.FromDocs(docs)
+			updates[wi] = core.WordUpdate{Word: postings.WordID(wi + 1), Count: list.Len(), List: list}
+		}
+		out[bi] = updates
+	}
+	return out
+}
+
+func benchFlushConfig(store disk.BlockStore, workers int) core.Config {
+	geo := disk.Geometry{NumDisks: 4, BlocksPerDisk: 65536, BlockSize: 512}
+	return core.Config{
+		Buckets:      64,
+		BucketSize:   128, // small buckets: updates overflow into long lists
+		BlockPosting: int64(geo.BlockSize / longlist.PostingBytes),
+		Geometry:     geo,
+		Policy:       longlist.NewRecommended(),
+		Store:        store,
+		FlushWorkers: workers,
+	}
+}
+
+// benchParallelFlush applies the same batches through the serial
+// (FlushWorkers = 1) or per-disk parallel flush path.
+func benchParallelFlush(b *testing.B, workers int) {
+	batches := benchBatches(4, 96, 192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		store := slowStore{disk.NewMemStore(4, 512), benchDelay}
+		ix, err := core.New(benchFlushConfig(store, workers))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		for _, batch := range batches {
+			if _, err := ix.ApplyUpdate(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkParallelFlush compares the serial and per-disk parallel batch
+// apply over a 4-disk array with latency-modelled I/O.
+func BenchmarkParallelFlush(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchParallelFlush(b, 1) })
+	b.Run("parallel", func(b *testing.B) { benchParallelFlush(b, 0) })
+}
+
+// slowSource serves term lists with a fixed latency per list — each List
+// call standing in for the chunk reads of one long list.
+type slowSource struct {
+	delay time.Duration
+	lists map[string]*postings.List
+}
+
+func (s slowSource) List(word string) (*postings.List, error) {
+	time.Sleep(s.delay)
+	if l, ok := s.lists[word]; ok {
+		return l, nil
+	}
+	return &postings.List{}, nil
+}
+
+func benchQueryTerms(n, perList int) ([]string, slowSource) {
+	src := slowSource{delay: benchDelay, lists: map[string]*postings.List{}}
+	terms := make([]string, n)
+	for i := range terms {
+		terms[i] = fmt.Sprintf("term%03d", i)
+		docs := make([]postings.DocID, perList)
+		for d := range docs {
+			docs[d] = postings.DocID(i + d*7 + 1)
+		}
+		src.lists[terms[i]] = postings.FromDocs(docs)
+	}
+	return terms, src
+}
+
+// benchParallelQuery fetches and scores a 96-term vector query (the paper's
+// "more than 100 words" workload) with the given fetch concurrency.
+func benchParallelQuery(b *testing.B, workers int) {
+	terms, src := benchQueryTerms(96, 64)
+	vq := query.FromDocument(terms)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pre, err := query.PrefetchVector(vq, src, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		matches, err := query.EvalVector(vq, pre, 10000, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(matches) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+// BenchmarkParallelQuery compares serial and pooled term-list fetching for
+// a multi-term query against a latency-modelled source.
+func BenchmarkParallelQuery(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchParallelQuery(b, 1) })
+	b.Run("parallel", func(b *testing.B) { benchParallelQuery(b, 8) })
+}
+
+// benchBlockCache reads a working set of blocks over and over through a
+// latency-modelled store, with and without the LRU block cache in front.
+func benchBlockCache(b *testing.B, capacity int) {
+	const blockSize = 512
+	inner := slowStore{disk.NewMemStore(1, blockSize), benchDelay}
+	var store disk.BlockStore = cache.New(inner, blockSize, capacity)
+	buf := make([]byte, blockSize)
+	if err := store.WriteAt(0, 0, make([]byte, 64*blockSize)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for blk := int64(0); blk < 64; blk++ {
+			if err := store.ReadAt(0, blk, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkBlockCache compares repeated hot-set reads with the cache
+// disabled (capacity 0, every read pays the store's latency) and enabled.
+func BenchmarkBlockCache(b *testing.B) {
+	b.Run("uncached", func(b *testing.B) { benchBlockCache(b, 0) })
+	b.Run("cached", func(b *testing.B) { benchBlockCache(b, 128) })
+}
+
+// parallelBenchReport is the schema of BENCH_parallel.json.
+type parallelBenchReport struct {
+	FlushSerialNsOp   int64   `json:"flush_serial_ns_op"`
+	FlushParallelNsOp int64   `json:"flush_parallel_ns_op"`
+	FlushSpeedup      float64 `json:"flush_speedup"`
+	QuerySerialNsOp   int64   `json:"query_serial_ns_op"`
+	QueryParallelNsOp int64   `json:"query_parallel_ns_op"`
+	QuerySpeedup      float64 `json:"query_speedup"`
+	CacheUncachedNsOp int64   `json:"cache_uncached_ns_op"`
+	CacheCachedNsOp   int64   `json:"cache_cached_ns_op"`
+	CacheSpeedup      float64 `json:"cache_speedup"`
+}
+
+// TestParallelBenchReport runs the three serial/parallel benchmark pairs
+// and writes the measured speedups to BENCH_parallel.json. Skipped under
+// -short (it spends several benchmark seconds).
+func TestParallelBenchReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark harness skipped in -short mode")
+	}
+	nsOp := func(f func(b *testing.B)) int64 {
+		r := testing.Benchmark(f)
+		return r.NsPerOp()
+	}
+	rep := parallelBenchReport{
+		FlushSerialNsOp:   nsOp(func(b *testing.B) { benchParallelFlush(b, 1) }),
+		FlushParallelNsOp: nsOp(func(b *testing.B) { benchParallelFlush(b, 0) }),
+		QuerySerialNsOp:   nsOp(func(b *testing.B) { benchParallelQuery(b, 1) }),
+		QueryParallelNsOp: nsOp(func(b *testing.B) { benchParallelQuery(b, 8) }),
+		CacheUncachedNsOp: nsOp(func(b *testing.B) { benchBlockCache(b, 0) }),
+		CacheCachedNsOp:   nsOp(func(b *testing.B) { benchBlockCache(b, 128) }),
+	}
+	rep.FlushSpeedup = float64(rep.FlushSerialNsOp) / float64(rep.FlushParallelNsOp)
+	rep.QuerySpeedup = float64(rep.QuerySerialNsOp) / float64(rep.QueryParallelNsOp)
+	rep.CacheSpeedup = float64(rep.CacheUncachedNsOp) / float64(rep.CacheCachedNsOp)
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_parallel.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("flush %.2fx, query %.2fx, cache %.2fx",
+		rep.FlushSpeedup, rep.QuerySpeedup, rep.CacheSpeedup)
+	// The report is informational, but a parallel path slower than its
+	// serial twin would mean the machinery itself regressed.
+	if rep.FlushSpeedup < 1.0 || rep.QuerySpeedup < 1.0 || rep.CacheSpeedup < 1.0 {
+		t.Fatalf("a parallel path is slower than its serial twin: %+v", rep)
+	}
+}

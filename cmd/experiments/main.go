@@ -94,18 +94,24 @@ func main() {
 				log.Fatal(err)
 			}
 			os.Stdout = w
-			done := make(chan struct{})
+			// The copier touches only its captured locals (stdout, f, r);
+			// os.Stdout is read and written on this goroutine alone, and
+			// <-done orders the copy's completion before f.Close.
+			done := make(chan error, 1)
 			go func() {
-				defer close(done)
-				io.Copy(io.MultiWriter(stdout, f), r)
+				_, cerr := io.Copy(io.MultiWriter(stdout, f), r)
+				done <- cerr
 			}()
 			err = a.run(env)
 			w.Close()
-			<-done
+			cerr := <-done
 			os.Stdout = stdout
 			f.Close()
 			if err != nil {
 				log.Fatalf("%s: %v", a.name, err)
+			}
+			if cerr != nil {
+				log.Fatalf("%s: tee: %v", a.name, cerr)
 			}
 		} else if err := a.run(env); err != nil {
 			log.Fatalf("%s: %v", a.name, err)

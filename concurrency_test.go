@@ -1,0 +1,274 @@
+package dualindex
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestConcurrentAddSearchFlush hammers the engine from three directions at
+// once — writers adding documents, readers running boolean and vector
+// queries, and a flusher pushing batches to disk — and then verifies that
+// every document landed in the index. Run with -race, this is the stress
+// test of the engine's snapshot/locking scheme.
+func TestConcurrentAddSearchFlush(t *testing.T) {
+	eng, err := Open(Options{Buckets: 32, BucketSize: 256, CacheBlocks: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	const (
+		writers   = 4
+		docsEach  = 150
+		searchers = 4
+	)
+	var wgWriters, wgOthers sync.WaitGroup
+	var stop atomic.Bool
+
+	for g := 0; g < writers; g++ {
+		wgWriters.Add(1)
+		go func(g int) {
+			defer wgWriters.Done()
+			for i := 0; i < docsEach; i++ {
+				eng.AddDocument(fmt.Sprintf("writer%d common doc%d topic%d", g, i, i%7))
+			}
+		}(g)
+	}
+	for g := 0; g < searchers; g++ {
+		wgOthers.Add(1)
+		go func(g int) {
+			defer wgOthers.Done()
+			for !stop.Load() {
+				if _, err := eng.SearchBoolean(fmt.Sprintf("common and topic%d", g%7)); err != nil {
+					t.Errorf("boolean: %v", err)
+					return
+				}
+				if _, err := eng.SearchVector("common topic1 topic2 topic3", 10); err != nil {
+					t.Errorf("vector: %v", err)
+					return
+				}
+				eng.Stats()
+			}
+		}(g)
+	}
+	wgOthers.Add(1)
+	go func() {
+		defer wgOthers.Done()
+		for !stop.Load() {
+			if _, err := eng.FlushBatch(); err != nil {
+				t.Errorf("flush: %v", err)
+				return
+			}
+		}
+	}()
+
+	wgWriters.Wait()
+	stop.Store(true)
+	wgOthers.Wait()
+	if t.Failed() {
+		return
+	}
+
+	if _, err := eng.FlushBatch(); err != nil {
+		t.Fatal(err)
+	}
+	docs, err := eng.SearchBoolean("common")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != writers*docsEach {
+		t.Fatalf("found %d documents, want %d", len(docs), writers*docsEach)
+	}
+	if err := eng.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueryDuringFlushSeesStableResults verifies the snapshot scheme's
+// correctness property: a query running while a batch flushes returns
+// exactly the documents it would return after the flush — mid-flush answers
+// never expose half-applied state.
+func TestQueryDuringFlushSeesStableResults(t *testing.T) {
+	eng, err := Open(Options{Buckets: 16, BucketSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	// Several flushed batches grow long lists; one more batch sits pending.
+	const rounds = 6
+	perRound := 80
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < perRound; i++ {
+			eng.AddDocument(fmt.Sprintf("stable anchor%d word%d", i%11, r*perRound+i))
+		}
+		if r < rounds-1 {
+			if _, err := eng.FlushBatch(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	queries := []string{
+		"stable",
+		"stable and anchor3",
+		"anchor1 or anchor7",
+		"anchor*",
+	}
+	// A flush changes no query-visible state (the pending batch is already
+	// searchable), so the pre-flush answers are THE answers: every
+	// observation during the flush, and the post-flush answers, must match
+	// them exactly.
+	want := make([][]DocID, len(queries))
+	for qi, q := range queries {
+		docs, err := eng.SearchBoolean(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[qi] = docs
+	}
+	same := func(a, b []DocID) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for round := 0; round < 30; round++ {
+				for qi, q := range queries {
+					docs, err := eng.SearchBoolean(q)
+					if err != nil {
+						t.Errorf("query %q: %v", q, err)
+						return
+					}
+					if !same(docs, want[qi]) {
+						t.Errorf("query %q: searcher %d saw %d docs mid-flush, want %d", q, g, len(docs), len(want[qi]))
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	close(start)
+	if _, err := eng.FlushBatch(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for qi, q := range queries {
+		after, err := eng.SearchBoolean(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !same(after, want[qi]) {
+			t.Fatalf("query %q: %d docs after flush, want %d", q, len(after), len(want[qi]))
+		}
+	}
+}
+
+// TestFlushDoesNotBlockSearches checks liveness structurally: a search
+// issued while a flush is applying its batch completes against the
+// snapshot. (With -race this also exercises snapshot reads racing the
+// apply.)
+func TestFlushDoesNotBlockSearches(t *testing.T) {
+	eng, err := Open(Options{Buckets: 16, BucketSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for i := 0; i < 500; i++ {
+		eng.AddDocument(fmt.Sprintf("liveness word%d filler%d", i%13, i))
+	}
+	var wg sync.WaitGroup
+	searched := make(chan int, 64)
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			docs, err := eng.SearchBoolean("liveness and word3")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			select {
+			case searched <- len(docs):
+			default:
+			}
+		}
+	}()
+	if _, err := eng.FlushBatch(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if len(searched) == 0 {
+		t.Fatal("no search completed around the flush")
+	}
+}
+
+// TestConcurrentDeleteAndSearch exercises Delete (which serialises with
+// flushes) racing searches and flushes.
+func TestConcurrentDeleteAndSearch(t *testing.T) {
+	eng, err := Open(Options{Buckets: 16, BucketSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	var ids []DocID
+	for i := 0; i < 200; i++ {
+		ids = append(ids, eng.AddDocument(fmt.Sprintf("victim word%d", i%5)))
+	}
+	if _, err := eng.FlushBatch(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for _, id := range ids[:100] {
+			eng.Delete(id)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if _, err := eng.SearchBoolean("victim"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	docs, err := eng.SearchBoolean("victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 100 {
+		t.Fatalf("after deletes, %d docs visible, want 100", len(docs))
+	}
+}

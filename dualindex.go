@@ -27,6 +27,7 @@ import (
 	"sort"
 	"sync"
 
+	"dualindex/internal/cache"
 	"dualindex/internal/core"
 	"dualindex/internal/disk"
 	"dualindex/internal/docstore"
@@ -128,6 +129,18 @@ type Options struct {
 	// Dir/docs.log for persistent engines), enabling Document retrieval and
 	// the positional query layer (SearchPhrase, SearchNear, SearchInRegion).
 	KeepDocuments bool
+	// Workers bounds query-time fetch concurrency: a multi-term query reads
+	// its inverted lists with at most Workers goroutines, overlapping reads
+	// across the disks of the array. It also gates the flush path's
+	// per-disk parallel batch apply. 0 defaults to NumDisks (one in-flight
+	// read per disk); 1 disables both kinds of parallelism.
+	Workers int
+	// CacheBlocks, when positive, layers an LRU block cache of that many
+	// blocks over the store, so repeated reads of hot chunks — the first
+	// block of a long list's last chunk during in-place updates, the lists
+	// of popular query words — are served from memory. Hit/miss/eviction
+	// counters appear in Stats. 0 disables caching.
+	CacheBlocks int
 }
 
 func (o Options) withDefaults() Options {
@@ -150,22 +163,39 @@ func (o Options) withDefaults() Options {
 	if o.BlockSize == 0 {
 		o.BlockSize = 4096
 	}
+	if o.Workers == 0 {
+		o.Workers = o.NumDisks
+	}
 	return o
 }
 
 // Engine is a searchable, incrementally updatable document index.
 //
 // Engine is safe for concurrent use: searches proceed under a read lock and
-// run concurrently with each other; document additions, flushes, deletions
-// and sweeps serialise under a write lock. This matches the paper's
-// operational setting — continuous 7×24 service where queries must keep
-// flowing while the index is updated in place.
+// run concurrently with each other and with document additions' brief write
+// lock. A batch flush holds the write lock only at its boundaries — to
+// detach the pending batch and publish a snapshot, and to retire the
+// snapshot when the batch is applied — so searches keep flowing while the
+// index is updated in place, the paper's continuous 7×24 operational
+// setting. Whole-index maintenance (Delete, Sweep, RebalanceBuckets, Close)
+// serialises with flushes on a second mutex.
 type Engine struct {
 	mu    sync.RWMutex
 	opts  Options
 	index *core.Index
 	vocab *vocab.Vocab
 	store disk.BlockStore
+	cache *cache.Store // non-nil iff Options.CacheBlocks > 0
+
+	// flushMu serialises the whole-index mutators: FlushBatch, Delete,
+	// Sweep, RebalanceBuckets and Close. Lock order: flushMu before mu.
+	flushMu sync.Mutex
+
+	// While a flush is applying its batch, snap holds the pre-flush index
+	// state and snapBatch the detached batch; searches read them instead of
+	// the live index (guarded by mu: written under Lock, read under RLock).
+	snap      *core.Snapshot
+	snapBatch map[postings.WordID][]postings.DocID
 
 	// The in-memory inverted index of documents awaiting a flush; it is
 	// searched together with the on-disk index, as the paper prescribes.
@@ -200,6 +230,11 @@ func Open(opts Options) (*Engine, error) {
 		}
 		store = fs
 	}
+	var blockCache *cache.Store
+	if opts.CacheBlocks > 0 {
+		blockCache = cache.New(store, opts.BlockSize, opts.CacheBlocks)
+		store = blockCache
+	}
 	cfg := core.Config{
 		Buckets:      opts.Buckets,
 		BucketSize:   opts.BucketSize,
@@ -209,12 +244,14 @@ func Open(opts Options) (*Engine, error) {
 			BlocksPerDisk: opts.BlocksPerDisk,
 			BlockSize:     opts.BlockSize,
 		},
-		Policy: pol,
-		Store:  store,
+		Policy:       pol,
+		Store:        store,
+		FlushWorkers: opts.Workers,
 	}
 	eng := &Engine{
 		opts:    opts,
 		store:   store,
+		cache:   blockCache,
 		vocab:   vocab.New(),
 		pending: make(map[postings.WordID][]postings.DocID),
 	}
@@ -354,50 +391,81 @@ type BatchStats struct {
 // FlushBatch applies the pending batch to the on-disk index — the paper's
 // incremental batch update — and checkpoints. A flush with no pending
 // documents is a no-op.
+//
+// Searches are not blocked while the batch is applied: FlushBatch detaches
+// the batch and publishes a snapshot of the pre-flush index under a brief
+// write lock, applies the update with no engine lock held (queries read the
+// snapshot plus the detached batch, so answers are unchanged mid-flush),
+// and retires the snapshot under a final brief write lock. Acquiring that
+// final lock drains every search still reading the snapshot; chunks the
+// batch released cannot be overwritten before the next batch's allocations
+// in any case, because they return to free space only at this batch's
+// checkpoint.
 func (e *Engine) FlushBatch() (BatchStats, error) {
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
+
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.docErr != nil {
+		e.mu.Unlock()
 		return BatchStats{}, fmt.Errorf("dualindex: document store: %w", e.docErr)
 	}
 	if e.pendingDocs == 0 {
+		e.mu.Unlock()
 		return BatchStats{}, nil
 	}
 	if e.docs != nil {
 		if err := e.docs.Sync(); err != nil {
+			e.mu.Unlock()
 			return BatchStats{}, err
 		}
 	}
-	words := make([]postings.WordID, 0, len(e.pending))
-	for w := range e.pending {
+	batch, batchDocs := e.pending, e.pendingDocs
+	e.pending = make(map[postings.WordID][]postings.DocID)
+	e.pendingDocs = 0
+	e.snap = e.index.Snapshot()
+	e.snapBatch = batch
+	e.mu.Unlock()
+
+	words := make([]postings.WordID, 0, len(batch))
+	for w := range batch {
 		words = append(words, w)
 	}
 	sortWordIDs(words)
 	updates := make([]core.WordUpdate, 0, len(words))
 	for _, w := range words {
-		list := postings.FromDocs(e.pending[w])
+		list := postings.FromDocs(batch[w])
 		updates = append(updates, core.WordUpdate{Word: w, Count: list.Len(), List: list})
 	}
 	st, err := e.index.ApplyUpdate(updates)
+
+	e.mu.Lock()
+	e.snap, e.snapBatch = nil, nil
 	if err != nil {
+		// Put the batch back so no documents are lost. Batch documents
+		// precede anything added while the flush ran, so prepending keeps
+		// every per-word list sorted.
+		for w, docs := range batch {
+			e.pending[w] = append(docs, e.pending[w]...)
+		}
+		e.pendingDocs += batchDocs
+		e.mu.Unlock()
 		return BatchStats{}, err
 	}
 	out := BatchStats{
-		Docs:      e.pendingDocs,
+		Docs:      batchDocs,
 		Words:     st.Words,
 		Postings:  st.Postings,
 		Evictions: st.Evictions,
 		ReadOps:   st.ReadOps,
 		WriteOps:  st.WriteOps,
 	}
-	e.pending = make(map[postings.WordID][]postings.DocID)
-	e.pendingDocs = 0
+	var vocabErr error
 	if e.opts.Dir != "" {
-		if err := e.saveVocab(); err != nil {
-			return out, err
-		}
+		vocabErr = e.saveVocab()
 	}
-	return out, nil
+	e.mu.Unlock()
+	return out, vocabErr
 }
 
 func sortWordIDs(ws []postings.WordID) {
@@ -406,20 +474,34 @@ func sortWordIDs(ws []postings.WordID) {
 
 // list returns the full current list for a word string: the on-disk (or
 // bucket) list merged with the pending batch, filtered of deleted docs.
+// While a flush is applying its batch, the on-disk part comes from the
+// flush's snapshot and the detached batch, so mid-flush answers equal the
+// pre-flush (and hence the post-flush) ones. Called under e.mu.RLock, from
+// any number of goroutines.
 func (e *Engine) list(word string) (*postings.List, error) {
 	w, known := e.vocab.Lookup(word)
 	if !known {
 		return &postings.List{}, nil
 	}
-	indexed, err := e.index.GetList(w)
+	var indexed *postings.List
+	var err error
+	isDeleted := e.index.IsDeleted
+	if e.snap != nil {
+		isDeleted = e.snap.IsDeleted
+		indexed, err = e.snap.GetList(w)
+		if err == nil {
+			if docs := e.snapBatch[w]; len(docs) > 0 {
+				indexed = postings.Union(indexed, postings.FromDocs(docs).Filter(isDeleted))
+			}
+		}
+	} else {
+		indexed, err = e.index.GetList(w)
+	}
 	if err != nil {
 		return nil, err
 	}
 	if docs := e.pending[w]; len(docs) > 0 {
-		pendingList := postings.FromDocs(docs).Filter(func(d postings.DocID) bool {
-			return e.index.IsDeleted(d)
-		})
-		indexed = postings.Union(indexed, pendingList)
+		indexed = postings.Union(indexed, postings.FromDocs(docs).Filter(isDeleted))
 	}
 	return indexed, nil
 }
@@ -437,7 +519,8 @@ func (s engineSource) WordsWithPrefix(prefix string) []string {
 // SearchBoolean evaluates a boolean query such as "(cat and dog) or mouse"
 // and returns the matching documents in ascending order. Truncation terms
 // ("inver*") expand through the vocabulary's B-tree dictionary. Pending
-// documents are visible.
+// documents are visible. The query's term lists are fetched concurrently
+// (at most Options.Workers reads in flight) before evaluation.
 func (e *Engine) SearchBoolean(q string) ([]DocID, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -445,7 +528,11 @@ func (e *Engine) SearchBoolean(q string) ([]DocID, error) {
 	if err != nil {
 		return nil, err
 	}
-	l, err := query.EvalBoolean(expr, engineSource{e})
+	src, err := query.PrefetchExpr(expr, engineSource{e}, e.opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	l, err := query.EvalBoolean(expr, src)
 	if err != nil {
 		return nil, err
 	}
@@ -456,7 +543,10 @@ func (e *Engine) SearchBoolean(q string) ([]DocID, error) {
 type Match = query.Match
 
 // SearchVector ranks documents against the words of text (a document-like
-// query, the paper's vector-space workload) and returns the top k.
+// query, the paper's vector-space workload) and returns the top k. Vector
+// queries "often contain many words (more than 100)"; their term lists are
+// fetched concurrently (at most Options.Workers reads in flight) before
+// scoring.
 func (e *Engine) SearchVector(text string, k int) ([]Match, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -465,12 +555,20 @@ func (e *Engine) SearchVector(text string, k int) ([]Match, error) {
 	if total == 0 {
 		total = 1
 	}
-	return query.EvalVector(query.FromDocument(words), engineSource{e}, total, k)
+	vq := query.FromDocument(words)
+	src, err := query.PrefetchVector(vq, engineSource{e}, e.opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return query.EvalVector(vq, src, total, k)
 }
 
 // Delete marks a document deleted; it disappears from results immediately
-// and its postings are reclaimed by Sweep.
+// and its postings are reclaimed by Sweep. Delete waits for any running
+// flush to finish.
 func (e *Engine) Delete(doc DocID) {
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.index.Delete(doc)
@@ -480,6 +578,8 @@ func (e *Engine) Delete(doc DocID) {
 // index and, when documents are kept, compacts them out of the document
 // store.
 func (e *Engine) Sweep() error {
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	deleted := make(map[postings.DocID]bool)
@@ -513,24 +613,50 @@ type Stats struct {
 	ReadOps         int64
 	WriteOps        int64
 	Deleted         int
+	// Block-cache counters (all zero unless Options.CacheBlocks > 0).
+	// Counted per block: a three-block read with one resident block scores
+	// one hit and two misses.
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
+	CacheHitRate   float64
 }
 
-// Stats reports current index statistics.
+// Stats reports current index statistics. During a flush, the structural
+// numbers come from the flush's snapshot (pre-flush state); the I/O and
+// cache counters are always live.
 func (e *Engine) Stats() Stats {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return Stats{
-		Docs:            int64(e.nextDoc),
-		Words:           e.vocab.Len(),
-		Batches:         e.index.Batches(),
-		LongLists:       e.index.Directory().NumWords(),
-		BucketWords:     e.index.Buckets().TotalWords(),
-		Utilization:     e.index.Directory().Utilization(),
-		AvgReadsPerList: e.index.Directory().AvgReadsPerList(),
-		ReadOps:         e.index.Array().ReadOps(),
-		WriteOps:        e.index.Array().WriteOps(),
-		Deleted:         e.index.DeletedCount(),
+	st := Stats{
+		Docs:     int64(e.nextDoc),
+		Words:    e.vocab.Len(),
+		ReadOps:  e.index.Array().ReadOps(),
+		WriteOps: e.index.Array().WriteOps(),
 	}
+	if e.snap != nil {
+		st.Batches = e.snap.Batches()
+		st.LongLists = e.snap.Directory().NumWords()
+		st.BucketWords = e.snap.Buckets().TotalWords()
+		st.Utilization = e.snap.Directory().Utilization()
+		st.AvgReadsPerList = e.snap.Directory().AvgReadsPerList()
+		st.Deleted = e.snap.DeletedCount()
+	} else {
+		st.Batches = e.index.Batches()
+		st.LongLists = e.index.Directory().NumWords()
+		st.BucketWords = e.index.Buckets().TotalWords()
+		st.Utilization = e.index.Directory().Utilization()
+		st.AvgReadsPerList = e.index.Directory().AvgReadsPerList()
+		st.Deleted = e.index.DeletedCount()
+	}
+	if e.cache != nil {
+		cs := e.cache.Stats()
+		st.CacheHits = cs.Hits
+		st.CacheMisses = cs.Misses
+		st.CacheEvictions = cs.Evictions
+		st.CacheHitRate = cs.HitRate()
+	}
+	return st
 }
 
 // ReadCost reports how many disk reads a query for word would need — the
@@ -542,6 +668,9 @@ func (e *Engine) ReadCost(word string) int {
 	w, ok := e.vocab.Lookup(word)
 	if !ok {
 		return 0
+	}
+	if e.snap != nil {
+		return e.snap.ReadCost(w)
 	}
 	return e.index.ReadCost(w)
 }
@@ -584,6 +713,8 @@ func (e *Engine) loadVocab() error {
 // Close releases the engine's resources, persisting the vocabulary first
 // for on-disk engines.
 func (e *Engine) Close() error {
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	var first error
@@ -607,6 +738,14 @@ func (e *Engine) Close() error {
 func (e *Engine) BucketLoadFactor() float64 {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	if e.snap != nil {
+		b := e.snap.Buckets()
+		capacity := float64(b.NumBuckets()) * float64(b.BucketSize())
+		if capacity == 0 {
+			return 0
+		}
+		return float64(b.TotalLoad()) / capacity
+	}
 	return e.index.BucketLoadFactor()
 }
 
@@ -614,6 +753,8 @@ func (e *Engine) BucketLoadFactor() float64 {
 // given geometry and checkpoints the result. Query answers are unaffected;
 // only the short/long division shifts.
 func (e *Engine) RebalanceBuckets(buckets, bucketSize int) error {
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.index.RebalanceBuckets(buckets, bucketSize)
@@ -624,6 +765,8 @@ func (e *Engine) RebalanceBuckets(buckets, bucketSize int) error {
 // and (for persistent engines) that every long list decodes cleanly. Run it
 // after reopening an index to validate the checkpoint.
 func (e *Engine) CheckConsistency() error {
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.index.CheckConsistency()

@@ -266,6 +266,36 @@ func (s *Set) ReplaceList(w postings.WordID, list *postings.List) error {
 	return nil
 }
 
+// Clone returns a deep copy of the bucket set (posting lists included, in
+// tracking mode). The copy shares no mutable state with the original; the
+// engine publishes one as the short-list half of its flush snapshot so
+// queries keep reading pre-flush state while the live set absorbs a batch.
+// The observer is not copied.
+func (s *Set) Clone() *Set {
+	c := &Set{
+		numBuckets:    s.numBuckets,
+		bucketSize:    s.bucketSize,
+		trackPostings: s.trackPostings,
+		buckets:       make([]bucketState, len(s.buckets)),
+		changes:       s.changes,
+	}
+	for i := range s.buckets {
+		b := &s.buckets[i]
+		nb := &c.buckets[i]
+		nb.load = b.load
+		nb.dirty = b.dirty
+		nb.entries = make(map[postings.WordID]*entry, len(b.entries))
+		for w, e := range b.entries {
+			ne := &entry{count: e.count}
+			if e.list != nil {
+				ne.list = e.list.Clone()
+			}
+			nb.entries[w] = ne
+		}
+	}
+	return c
+}
+
 // DirtyBuckets returns the indexes of buckets modified since the last
 // ClearDirty, in ascending order.
 func (s *Set) DirtyBuckets() []int {

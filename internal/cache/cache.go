@@ -1,0 +1,184 @@
+// Package cache provides a block-level LRU read cache that layers over any
+// disk.BlockStore. The index's hottest reads — the first block of a long
+// list's last chunk during in-place updates, and the chunks of frequently
+// queried words — hit memory instead of the store, while the I/O trace and
+// operation counters recorded by disk.Array are unaffected: the cache sits
+// below the accounting layer, so simulated costs (the paper's metrics) stay
+// identical whether or not a cache is attached.
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"dualindex/internal/disk"
+)
+
+// Stats reports cache effectiveness counters. All counters are cumulative
+// and counted per block, not per call: a three-block read with one resident
+// block scores one hit and two misses.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// HitRate reports Hits / (Hits + Misses), or 0 before any lookups.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+type key struct {
+	disk  int
+	block int64
+}
+
+type entry struct {
+	key  key
+	data []byte // exactly one block
+}
+
+// Store is a disk.BlockStore that caches up to a fixed number of blocks of
+// its inner store with LRU replacement. Reads are served from the cache
+// when resident and fill it when not; writes go through to the inner store
+// and update resident blocks in place (write-through, no write-allocate),
+// so the cache never holds data the store does not. Safe for concurrent
+// use.
+type Store struct {
+	inner     disk.BlockStore
+	blockSize int
+	capacity  int
+
+	mu      sync.Mutex
+	lru     *list.List // front = most recent; values are *entry
+	entries map[key]*list.Element
+
+	hits, misses, evictions atomic.Int64
+}
+
+var _ disk.BlockStore = (*Store)(nil)
+
+// New wraps inner with an LRU cache of capacity blocks of blockSize bytes.
+// capacity <= 0 disables caching (every read and write passes through).
+func New(inner disk.BlockStore, blockSize, capacity int) *Store {
+	return &Store{
+		inner:     inner,
+		blockSize: blockSize,
+		capacity:  capacity,
+		lru:       list.New(),
+		entries:   make(map[key]*list.Element),
+	}
+}
+
+// Stats returns the cumulative hit/miss/eviction counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Evictions: s.evictions.Load(),
+	}
+}
+
+// Len reports the number of blocks currently cached.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.Len()
+}
+
+// ReadAt implements disk.BlockStore. The run [block, block+n) is served
+// block by block from the cache; any missing suffix-contiguous span is
+// fetched from the inner store in one call and inserted.
+func (s *Store) ReadAt(d int, block int64, buf []byte) error {
+	if s.capacity <= 0 {
+		return s.inner.ReadAt(d, block, buf)
+	}
+	n := len(buf) / s.blockSize
+	// First pass: serve resident blocks, remember the missing ones.
+	missing := make([]int, 0, n)
+	s.mu.Lock()
+	for i := 0; i < n; i++ {
+		k := key{d, block + int64(i)}
+		if el, ok := s.entries[k]; ok {
+			s.lru.MoveToFront(el)
+			copy(buf[i*s.blockSize:(i+1)*s.blockSize], el.Value.(*entry).data)
+		} else {
+			missing = append(missing, i)
+		}
+	}
+	s.mu.Unlock()
+	s.hits.Add(int64(n - len(missing)))
+	s.misses.Add(int64(len(missing)))
+	if len(missing) == 0 {
+		return nil
+	}
+	// Fetch each maximal contiguous run of missing blocks in one inner read.
+	for lo := 0; lo < len(missing); {
+		hi := lo + 1
+		for hi < len(missing) && missing[hi] == missing[hi-1]+1 {
+			hi++
+		}
+		first, count := missing[lo], missing[hi-1]-missing[lo]+1
+		span := buf[first*s.blockSize : (first+count)*s.blockSize]
+		if err := s.inner.ReadAt(d, block+int64(first), span); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		for i := 0; i < count; i++ {
+			s.insertLocked(key{d, block + int64(first+i)}, span[i*s.blockSize:(i+1)*s.blockSize])
+		}
+		s.mu.Unlock()
+		lo = hi
+	}
+	return nil
+}
+
+// WriteAt implements disk.BlockStore: write-through, updating any resident
+// blocks so cached data never goes stale.
+func (s *Store) WriteAt(d int, block int64, buf []byte) error {
+	if err := s.inner.WriteAt(d, block, buf); err != nil {
+		return err
+	}
+	if s.capacity <= 0 {
+		return nil
+	}
+	n := len(buf) / s.blockSize
+	s.mu.Lock()
+	for i := 0; i < n; i++ {
+		if el, ok := s.entries[key{d, block + int64(i)}]; ok {
+			copy(el.Value.(*entry).data, buf[i*s.blockSize:(i+1)*s.blockSize])
+			s.lru.MoveToFront(el)
+		}
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// insertLocked adds (or refreshes) one block, evicting from the LRU tail.
+// Caller holds s.mu.
+func (s *Store) insertLocked(k key, data []byte) {
+	if el, ok := s.entries[k]; ok {
+		copy(el.Value.(*entry).data, data)
+		s.lru.MoveToFront(el)
+		return
+	}
+	for s.lru.Len() >= s.capacity {
+		tail := s.lru.Back()
+		s.lru.Remove(tail)
+		delete(s.entries, tail.Value.(*entry).key)
+		s.evictions.Add(1)
+	}
+	block := make([]byte, s.blockSize)
+	copy(block, data)
+	s.entries[k] = s.lru.PushFront(&entry{key: k, data: block})
+}
+
+// Sync implements disk.BlockStore.
+func (s *Store) Sync() error { return s.inner.Sync() }
+
+// Close implements disk.BlockStore.
+func (s *Store) Close() error { return s.inner.Close() }

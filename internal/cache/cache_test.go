@@ -1,0 +1,195 @@
+package cache
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"dualindex/internal/disk"
+)
+
+const blockSize = 256
+
+func fill(tb testing.TB, s disk.BlockStore, d int, block int64, b byte, n int) {
+	tb.Helper()
+	buf := bytes.Repeat([]byte{b}, blockSize*n)
+	if err := s.WriteAt(d, block, buf); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+func readBlock(tb testing.TB, s disk.BlockStore, d int, block int64) []byte {
+	tb.Helper()
+	buf := make([]byte, blockSize)
+	if err := s.ReadAt(d, block, buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf
+}
+
+func TestHitMissCounters(t *testing.T) {
+	inner := disk.NewMemStore(2, blockSize)
+	c := New(inner, blockSize, 8)
+	fill(t, c, 0, 0, 0xAA, 4)
+
+	// Cold read of 4 blocks: 4 misses, then the same read: 4 hits.
+	buf := make([]byte, 4*blockSize)
+	if err := c.ReadAt(0, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 4 {
+		t.Fatalf("after cold read: %+v", st)
+	}
+	if err := c.ReadAt(0, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits != 4 || st.Misses != 4 {
+		t.Fatalf("after warm read: %+v", st)
+	}
+	if got := c.Stats().HitRate(); got != 0.5 {
+		t.Fatalf("hit rate %v, want 0.5", got)
+	}
+	for i := range buf {
+		if buf[i] != 0xAA {
+			t.Fatalf("byte %d = %#x", i, buf[i])
+		}
+	}
+}
+
+func TestPartialResidency(t *testing.T) {
+	inner := disk.NewMemStore(1, blockSize)
+	c := New(inner, blockSize, 8)
+	fill(t, c, 0, 0, 0x11, 6)
+
+	// Warm blocks 1 and 4, then read [0,6): 2 hits, 4 misses, data intact.
+	readBlock(t, c, 0, 1)
+	readBlock(t, c, 0, 4)
+	base := c.Stats()
+	buf := make([]byte, 6*blockSize)
+	if err := c.ReadAt(0, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Hits-base.Hits != 2 || st.Misses-base.Misses != 4 {
+		t.Fatalf("delta hits=%d misses=%d, want 2/4", st.Hits-base.Hits, st.Misses-base.Misses)
+	}
+	for i := range buf {
+		if buf[i] != 0x11 {
+			t.Fatalf("byte %d = %#x", i, buf[i])
+		}
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	inner := disk.NewMemStore(1, blockSize)
+	c := New(inner, blockSize, 2)
+	fill(t, c, 0, 0, 0x22, 4)
+
+	readBlock(t, c, 0, 0)
+	readBlock(t, c, 0, 1)
+	readBlock(t, c, 0, 0) // refresh 0: LRU order is now [0, 1]
+	readBlock(t, c, 0, 2) // evicts 1
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	base := c.Stats()
+	readBlock(t, c, 0, 0) // still resident
+	if st := c.Stats(); st.Hits-base.Hits != 1 {
+		t.Fatalf("block 0 was evicted (stats %+v)", st)
+	}
+	base = c.Stats()
+	readBlock(t, c, 0, 1) // evicted above → miss
+	if st := c.Stats(); st.Misses-base.Misses != 1 {
+		t.Fatalf("block 1 unexpectedly resident (stats %+v)", st)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d blocks, want 2", c.Len())
+	}
+}
+
+func TestWriteThroughUpdatesResident(t *testing.T) {
+	inner := disk.NewMemStore(1, blockSize)
+	c := New(inner, blockSize, 8)
+	fill(t, c, 0, 3, 0x33, 1)
+	readBlock(t, c, 0, 3) // cache it
+	fill(t, c, 0, 3, 0x44, 1)
+
+	// The cached copy must serve the new bytes, and the inner store must
+	// have them too (write-through).
+	if got := readBlock(t, c, 0, 3); got[0] != 0x44 {
+		t.Fatalf("cached read = %#x, want 0x44", got[0])
+	}
+	if got := readBlock(t, inner, 0, 3); got[0] != 0x44 {
+		t.Fatalf("inner read = %#x, want 0x44", got[0])
+	}
+	// Writes do not allocate: an unread block stays uncached.
+	fill(t, c, 0, 5, 0x55, 1)
+	base := c.Stats()
+	readBlock(t, c, 0, 5)
+	if st := c.Stats(); st.Misses-base.Misses != 1 {
+		t.Fatalf("write allocated block 5 (stats %+v)", st)
+	}
+}
+
+func TestZeroCapacityPassesThrough(t *testing.T) {
+	inner := disk.NewMemStore(1, blockSize)
+	c := New(inner, blockSize, 0)
+	fill(t, c, 0, 0, 0x66, 2)
+	if got := readBlock(t, c, 0, 1); got[0] != 0x66 {
+		t.Fatalf("read = %#x", got[0])
+	}
+	if st := c.Stats(); st.Hits != 0 && st.Misses != 0 {
+		t.Fatalf("disabled cache counted %+v", st)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("disabled cache holds %d blocks", c.Len())
+	}
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	inner := disk.NewMemStore(2, blockSize)
+	c := New(inner, blockSize, 16) // small: force constant eviction
+	fill(t, c, 0, 0, 0x01, 32)
+	fill(t, c, 1, 0, 0x02, 32)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			d := g % 2
+			want := byte(d + 1)
+			buf := make([]byte, blockSize)
+			for i := 0; i < 500; i++ {
+				if g < 6 {
+					// Mostly a per-disk hot set (fits the cache → hits), with
+					// periodic cold blocks (misses → evictions).
+					block := int64(i % 4)
+					if i%5 == 0 {
+						block = int64(i % 32)
+					}
+					if err := c.ReadAt(d, block, buf); err != nil {
+						t.Error(err)
+						return
+					}
+					if buf[0] != want {
+						t.Errorf("disk %d: read %#x, want %#x", d, buf[0], want)
+						return
+					}
+				} else {
+					// Rewrite the same contents; readers must never observe
+					// a torn or stale block.
+					if err := c.WriteAt(d, int64(i%32), bytes.Repeat([]byte{want}, blockSize)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits == 0 || st.Misses == 0 || st.Evictions == 0 {
+		t.Fatalf("expected activity in all counters: %+v", st)
+	}
+}

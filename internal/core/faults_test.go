@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 
 	"dualindex/internal/disk"
@@ -11,9 +12,12 @@ import (
 )
 
 // faultStore wraps a BlockStore and fails every write once a budget of
-// successful operations is exhausted — a crash mid-batch.
+// successful operations is exhausted — a crash mid-batch. Like any
+// BlockStore it must tolerate concurrent use (the parallel batch apply
+// writes from several goroutines), so the budget is guarded by a mutex.
 type faultStore struct {
 	disk.BlockStore
+	mu         sync.Mutex
 	writesLeft int
 	failed     bool
 }
@@ -21,12 +25,21 @@ type faultStore struct {
 var errInjected = errors.New("injected disk fault")
 
 func (s *faultStore) WriteAt(d int, block int64, buf []byte) error {
+	s.mu.Lock()
 	if s.writesLeft <= 0 {
 		s.failed = true
+		s.mu.Unlock()
 		return errInjected
 	}
 	s.writesLeft--
+	s.mu.Unlock()
 	return s.BlockStore.WriteAt(d, block, buf)
+}
+
+func (s *faultStore) didFail() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failed
 }
 
 func TestWriteFaultPropagates(t *testing.T) {
@@ -43,7 +56,7 @@ func TestWriteFaultPropagates(t *testing.T) {
 			upd(1, 1, 2, 3),
 			upd(2, 2, 4),
 		})
-		if fs.failed && err == nil {
+		if fs.didFail() && err == nil {
 			t.Fatalf("budget %d: injected fault swallowed", budget)
 		}
 		if err != nil && !errors.Is(err, errInjected) {

@@ -72,6 +72,10 @@ func (ix *Index) flushBuckets() error {
 	// region's chunks for deallocation, and they must not be overwritten.
 	ix.bucketRegion = make([]regionChunk, 0, ix.cfg.Geometry.NumDisks)
 	bytesPerDisk := perDisk * int64(ix.cfg.Geometry.BlockSize)
+	// Allocation and trace recording run sequentially per disk (deterministic
+	// trace); the stripes target distinct disks, so their data movement is
+	// then overlapped through a one-worker-per-disk plan.
+	plan := newFlushPlan(ix.cfg.Geometry.NumDisks)
 	for d := 0; d < ix.cfg.Geometry.NumDisks; d++ {
 		block, err := ix.array.Alloc(d, perDisk)
 		if err != nil {
@@ -89,12 +93,19 @@ func (ix *Index) flushBuckets() error {
 			}
 			piece = image[lo:hi]
 		}
-		if err := ix.array.WriteBlocksAt(d, block, perDisk, piece, disk.TagBucket); err != nil {
-			return err
+		ix.array.RecordWrite(d, block, perDisk, disk.TagBucket)
+		if ix.cfg.Store != nil {
+			d, block, piece := d, block, piece
+			run := func() error { return ix.array.StoreWriteAt(d, block, perDisk, piece) }
+			if ix.parallelFlush() {
+				plan.add(d, run)
+			} else if err := run(); err != nil {
+				return err
+			}
 		}
 		ix.bucketRegion = append(ix.bucketRegion, regionChunk{d, block, perDisk})
 	}
-	return nil
+	return plan.run()
 }
 
 // flushDirectory writes the directory image as one chunk, rotating the home

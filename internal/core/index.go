@@ -38,6 +38,15 @@ type Config struct {
 	// answer queries and restart from a checkpoint. When nil the index runs
 	// in the paper's simulation mode: exact I/O traces, no data.
 	Store disk.BlockStore
+	// FlushWorkers controls the parallel batch apply. The planning half of
+	// every update (allocation, directory bookkeeping, trace recording) is
+	// always sequential and deterministic; the data movement is partitioned
+	// by target disk and applied with one worker per disk — the paper's "one
+	// sequential write per disk", actually overlapped. 1 forces the fully
+	// serial path; any other value (0 = auto) enables per-disk parallelism
+	// whenever a store is attached and the array has more than one disk.
+	// Simulation mode (no store) has no data to move and is unaffected.
+	FlushWorkers int
 }
 
 // DefaultConfig returns the reduced-scale equivalent of the paper's Table 4
@@ -211,6 +220,16 @@ func UpdatesFromBatch(b *corpus.Batch, withPostings bool) []WordUpdate {
 func (ix *Index) ApplyUpdate(updates []WordUpdate) (UpdateStats, error) {
 	st := UpdateStats{Batch: ix.batches, Words: len(updates)}
 	r0, w0 := ix.array.ReadOps(), ix.array.WriteOps()
+	var plan *flushPlan
+	if ix.parallelFlush() {
+		// Plan/execute split: the word loop below stays single-threaded and
+		// performs all allocation, directory mutation and trace recording in
+		// update order; the long-list manager defers only the store data
+		// movement into the plan, which runs with one worker per disk.
+		plan = newFlushPlan(ix.cfg.Geometry.NumDisks)
+		ix.long.SetSink(plan.add)
+		defer ix.long.SetSink(nil)
+	}
 	for _, u := range updates {
 		if u.Count <= 0 {
 			return st, fmt.Errorf("core: word %d update with count %d", u.Word, u.Count)
@@ -241,6 +260,12 @@ func (ix *Index) ApplyUpdate(updates []WordUpdate) (UpdateStats, error) {
 			if err := ix.long.Append(ev.Word, int64(ev.Count), ev.List); err != nil {
 				return st, err
 			}
+		}
+	}
+	if plan != nil {
+		ix.long.SetSink(nil)
+		if err := plan.run(); err != nil {
+			return st, err
 		}
 	}
 	if err := ix.flush(); err != nil {

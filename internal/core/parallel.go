@@ -1,0 +1,67 @@
+package core
+
+import "sync"
+
+// flushPlan collects the data-movement tasks of one batch update, keyed by
+// the disk each task writes to. The planning pass (ApplyUpdate's word loop)
+// stays single-threaded so that allocation order, directory state and the
+// I/O trace remain byte-identical to a serial execution; the plan then runs
+// with one worker per disk, overlapping the per-disk I/O exactly the way
+// the paper's multi-disk array could but its single-threaded driver never
+// did.
+//
+// Task independence holds by construction: within a batch every word is
+// appended at most once, chunks of different words are disjoint, and blocks
+// freed by the batch (RELEASE list, previous bucket/directory images) are
+// not returned to the allocator until the batch's flush — so no task reads
+// or writes a block that another task of the same batch touches.
+type flushPlan struct {
+	perDisk [][]func() error
+}
+
+func newFlushPlan(numDisks int) *flushPlan {
+	return &flushPlan{perDisk: make([][]func() error, numDisks)}
+}
+
+// add enqueues a task on its target disk's queue. Called only from the
+// single-threaded planning pass.
+func (p *flushPlan) add(disk int, run func() error) {
+	p.perDisk[disk] = append(p.perDisk[disk], run)
+}
+
+// run executes every queued task, one worker goroutine per disk with queued
+// work, each worker applying its disk's tasks in plan order. It returns the
+// first error encountered.
+func (p *flushPlan) run() error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(p.perDisk))
+	for d, tasks := range p.perDisk {
+		if len(tasks) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(d int, tasks []func() error) {
+			defer wg.Done()
+			for _, t := range tasks {
+				if err := t(); err != nil {
+					errs[d] = err
+					return
+				}
+			}
+		}(d, tasks)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parallelFlush reports whether batch updates should split planning from
+// data movement. Simulation mode (no store) moves no data, and a one-disk
+// array has nothing to overlap.
+func (ix *Index) parallelFlush() bool {
+	return ix.cfg.Store != nil && ix.cfg.FlushWorkers != 1 && ix.cfg.Geometry.NumDisks > 1
+}

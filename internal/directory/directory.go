@@ -182,6 +182,24 @@ func (d *Dir) Words() []postings.WordID {
 	return out
 }
 
+// Clone returns a deep copy of the directory. The copy shares nothing with
+// the original, so a flush can keep mutating the live directory while
+// queries read the clone — the snapshot half of the engine's
+// search-during-flush scheme.
+func (d *Dir) Clone() *Dir {
+	c := &Dir{
+		words:         make(map[postings.WordID][]ChunkRef, len(d.words)),
+		totalChunks:   d.totalChunks,
+		totalPostings: d.totalPostings,
+		totalCapacity: d.totalCapacity,
+		totalBlocks:   d.totalBlocks,
+	}
+	for w, cs := range d.words {
+		c.words[w] = append([]ChunkRef(nil), cs...)
+	}
+	return c
+}
+
 func (d *Dir) account(c ChunkRef, sign int64) {
 	d.totalChunks += sign
 	d.totalPostings += sign * c.Postings

@@ -29,6 +29,13 @@ func (g Geometry) Validate() error {
 }
 
 // ErrNoSpace is returned when no disk can satisfy a contiguous allocation.
+// It is returned by value and wrapped with %w everywhere in this codebase,
+// so concurrent allocators can match it with
+//
+//	var noSpace disk.ErrNoSpace
+//	if errors.As(err, &noSpace) { ... noSpace.Disk, noSpace.Blocks ... }
+//
+// regardless of which goroutine's allocation failed.
 type ErrNoSpace struct {
 	Disk   int
 	Blocks int64
@@ -41,16 +48,20 @@ func (e ErrNoSpace) Error() string {
 // Array is a set of simulated disks with per-disk free lists, an I/O trace
 // recorder, and an optional block store for real data.
 //
-// Concurrency: the I/O recording methods (ReadBlocksAt, WriteBlocksAt) and
-// the counter accessors may be called concurrently — trace and counters are
-// guarded by an internal mutex, and both provided stores tolerate
-// concurrent reads. Allocation (Alloc, Free, Reserve) and EndBatch mutate
-// free lists and must be serialised by the caller, as the index's batch
-// protocol naturally does.
+// Concurrency: every method of Array is safe for concurrent use. The trace
+// and the operation counters are guarded by one internal mutex; free space
+// is guarded per disk, so Alloc/Free/Reserve on different disks proceed in
+// parallel (one allocator lock per disk, matching the paper's one-spindle-
+// per-disk parallelism). Both provided stores tolerate concurrent access.
+// Note that concurrent allocation makes placement nondeterministic; the
+// index's batch protocol therefore allocates from a single planning
+// goroutine and parallelises only the data movement, which keeps simulated
+// I/O traces deterministic.
 type Array struct {
-	geo   Geometry
-	free  []Allocator
-	store BlockStore // may be nil: trace/accounting only
+	geo    Geometry
+	free   []Allocator
+	freeMu []sync.Mutex // one per disk, guarding free[i]
+	store  BlockStore   // may be nil: trace/accounting only
 
 	mu                      sync.Mutex
 	trace                   *Trace
@@ -70,7 +81,7 @@ func NewArrayWith(geo Geometry, store BlockStore, newAlloc func(total int64) All
 	if err := geo.Validate(); err != nil {
 		return nil, err
 	}
-	a := &Array{geo: geo, trace: &Trace{}, store: store}
+	a := &Array{geo: geo, trace: &Trace{}, store: store, freeMu: make([]sync.Mutex, geo.NumDisks)}
 	for i := 0; i < geo.NumDisks; i++ {
 		a.free = append(a.free, newAlloc(geo.BlocksPerDisk))
 	}
@@ -96,8 +107,12 @@ func (a *Array) EndBatch() {
 }
 
 // Alloc carves n contiguous blocks from the named disk with first-fit.
+// Allocations on different disks proceed in parallel; allocations on the
+// same disk serialise on that disk's lock.
 func (a *Array) Alloc(disk int, n int64) (int64, error) {
+	a.freeMu[disk].Lock()
 	start, ok := a.free[disk].Alloc(n)
+	a.freeMu[disk].Unlock()
 	if !ok {
 		return 0, ErrNoSpace{Disk: disk, Blocks: n}
 	}
@@ -105,22 +120,36 @@ func (a *Array) Alloc(disk int, n int64) (int64, error) {
 }
 
 // Free returns a chunk to the named disk's free list.
-func (a *Array) Free(disk int, start, n int64) { a.free[disk].Free(start, n) }
+func (a *Array) Free(disk int, start, n int64) {
+	a.freeMu[disk].Lock()
+	defer a.freeMu[disk].Unlock()
+	a.free[disk].Free(start, n)
+}
 
 // Reserve marks the specific range as allocated; see FreeList.Reserve.
-func (a *Array) Reserve(disk int, start, n int64) error { return a.free[disk].Reserve(start, n) }
+func (a *Array) Reserve(disk int, start, n int64) error {
+	a.freeMu[disk].Lock()
+	defer a.freeMu[disk].Unlock()
+	return a.free[disk].Reserve(start, n)
+}
 
 // FreeBlocks reports the total free blocks across all disks.
 func (a *Array) FreeBlocks() int64 {
 	var sum int64
-	for _, f := range a.free {
+	for i, f := range a.free {
+		a.freeMu[i].Lock()
 		sum += f.FreeBlocks()
+		a.freeMu[i].Unlock()
 	}
 	return sum
 }
 
 // DiskFree reports the free blocks of one disk.
-func (a *Array) DiskFree(disk int) int64 { return a.free[disk].FreeBlocks() }
+func (a *Array) DiskFree(disk int) int64 {
+	a.freeMu[disk].Lock()
+	defer a.freeMu[disk].Unlock()
+	return a.free[disk].FreeBlocks()
+}
 
 // ReadOps and friends report cumulative operation counts, the paper's
 // primary unit of measurement in §5.2.
@@ -167,15 +196,33 @@ func (a *Array) checkRange(disk int, block, count int64) {
 	}
 }
 
-// ReadBlocksAt records (and, with a store, performs) a read of count blocks.
-// Without a store it returns nil data.
-func (a *Array) ReadBlocksAt(disk int, block, count int64, tag string) ([]byte, error) {
+// RecordRead appends a read of count blocks to the trace and counters
+// without touching the store. It is the planning half of a deferred read:
+// the batch-update planner records I/O in deterministic order, then the
+// per-disk workers perform the matching StoreReadAt calls in parallel.
+func (a *Array) RecordRead(disk int, block, count int64, tag string) {
 	a.checkRange(disk, block, count)
 	a.mu.Lock()
 	a.trace.Append(Op{Kind: Read, Disk: disk, Block: block, Count: count, Tag: tag})
 	a.readOps++
 	a.readBlocks += count
 	a.mu.Unlock()
+}
+
+// RecordWrite appends a write of count blocks to the trace and counters
+// without touching the store; see RecordRead.
+func (a *Array) RecordWrite(disk int, block, count int64, tag string) {
+	a.checkRange(disk, block, count)
+	a.mu.Lock()
+	a.trace.Append(Op{Kind: Write, Disk: disk, Block: block, Count: count, Tag: tag})
+	a.writeOps++
+	a.writeBlocks += count
+	a.mu.Unlock()
+}
+
+// StoreReadAt performs the data movement of a previously recorded read.
+// Without a store it returns nil data. Safe for concurrent use.
+func (a *Array) StoreReadAt(disk int, block, count int64) ([]byte, error) {
 	if a.store == nil {
 		return nil, nil
 	}
@@ -186,16 +233,9 @@ func (a *Array) ReadBlocksAt(disk int, block, count int64, tag string) ([]byte, 
 	return buf, nil
 }
 
-// WriteBlocksAt records (and, with a store, performs) a write of count
-// blocks. data may be nil when no store is attached; when a store is
-// attached, data shorter than the block run is zero-padded.
-func (a *Array) WriteBlocksAt(disk int, block, count int64, data []byte, tag string) error {
-	a.checkRange(disk, block, count)
-	a.mu.Lock()
-	a.trace.Append(Op{Kind: Write, Disk: disk, Block: block, Count: count, Tag: tag})
-	a.writeOps++
-	a.writeBlocks += count
-	a.mu.Unlock()
+// StoreWriteAt performs the data movement of a previously recorded write.
+// data shorter than the block run is zero-padded. Safe for concurrent use.
+func (a *Array) StoreWriteAt(disk int, block, count int64, data []byte) error {
 	if a.store == nil {
 		return nil
 	}
@@ -209,6 +249,21 @@ func (a *Array) WriteBlocksAt(disk int, block, count int64, data []byte, tag str
 		copy(buf, data)
 	}
 	return a.store.WriteAt(disk, block, buf)
+}
+
+// ReadBlocksAt records (and, with a store, performs) a read of count blocks.
+// Without a store it returns nil data.
+func (a *Array) ReadBlocksAt(disk int, block, count int64, tag string) ([]byte, error) {
+	a.RecordRead(disk, block, count, tag)
+	return a.StoreReadAt(disk, block, count)
+}
+
+// WriteBlocksAt records (and, with a store, performs) a write of count
+// blocks. data may be nil when no store is attached; when a store is
+// attached, data shorter than the block run is zero-padded.
+func (a *Array) WriteBlocksAt(disk int, block, count int64, data []byte, tag string) error {
+	a.RecordWrite(disk, block, count, tag)
+	return a.StoreWriteAt(disk, block, count, data)
 }
 
 // Sync flushes the store, modelling the paper's flush of all system buffers

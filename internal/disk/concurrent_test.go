@@ -1,0 +1,139 @@
+package disk
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentAllocPerDisk exercises the per-disk free-list locks:
+// allocators on different disks run in parallel, allocators on the same
+// disk serialise, and accounting stays exact either way.
+func TestConcurrentAllocPerDisk(t *testing.T) {
+	geo := Geometry{NumDisks: 4, BlocksPerDisk: 4096, BlockSize: 4096}
+	a, err := NewArray(geo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perWorker = 256
+	var wg sync.WaitGroup
+	starts := make([][]int64, geo.NumDisks*2)
+	for g := range starts {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			d := g % geo.NumDisks
+			for i := 0; i < perWorker; i++ {
+				s, err := a.Alloc(d, 2)
+				if err != nil {
+					t.Errorf("disk %d: %v", d, err)
+					return
+				}
+				starts[g] = append(starts[g], s)
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := int64(geo.NumDisks) * geo.BlocksPerDisk
+	want := total - int64(len(starts))*perWorker*2
+	if got := a.FreeBlocks(); got != want {
+		t.Fatalf("FreeBlocks = %d, want %d", got, want)
+	}
+	// No two workers may have received overlapping chunks on the same disk.
+	seen := make([]map[int64]bool, geo.NumDisks)
+	for d := range seen {
+		seen[d] = make(map[int64]bool)
+	}
+	for g, ss := range starts {
+		d := g % geo.NumDisks
+		for _, s := range ss {
+			for b := s; b < s+2; b++ {
+				if seen[d][b] {
+					t.Fatalf("disk %d block %d allocated twice", d, b)
+				}
+				seen[d][b] = true
+			}
+		}
+	}
+	// Freeing back concurrently must restore the full disk.
+	for g, ss := range starts {
+		wg.Add(1)
+		go func(g int, ss []int64) {
+			defer wg.Done()
+			for _, s := range ss {
+				a.Free(g%geo.NumDisks, s, 2)
+			}
+		}(g, ss)
+	}
+	wg.Wait()
+	if got := a.FreeBlocks(); got != total {
+		t.Fatalf("after free, FreeBlocks = %d, want %d", got, total)
+	}
+}
+
+// TestErrNoSpaceAs verifies that ErrNoSpace survives wrapping and matches
+// through errors.As — including when the failures come from concurrent
+// allocators on different disks.
+func TestErrNoSpaceAs(t *testing.T) {
+	geo := Geometry{NumDisks: 2, BlocksPerDisk: 8, BlockSize: 4096}
+	a, err := NewArray(geo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, geo.NumDisks)
+	for d := 0; d < geo.NumDisks; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			if _, err := a.Alloc(d, geo.BlocksPerDisk+1); err != nil {
+				errs[d] = fmt.Errorf("allocating on disk %d: %w", d, err)
+			}
+		}(d)
+	}
+	wg.Wait()
+	for d, err := range errs {
+		if err == nil {
+			t.Fatalf("disk %d: oversized allocation unexpectedly succeeded", d)
+		}
+		var noSpace ErrNoSpace
+		if !errors.As(err, &noSpace) {
+			t.Fatalf("disk %d: errors.As failed on %v", d, err)
+		}
+		if noSpace.Disk != d || noSpace.Blocks != geo.BlocksPerDisk+1 {
+			t.Fatalf("disk %d: ErrNoSpace fields %+v", d, noSpace)
+		}
+	}
+}
+
+// TestConcurrentMemStore exercises MemStore's per-disk locking with mixed
+// readers and writers.
+func TestConcurrentMemStore(t *testing.T) {
+	const blockSize = 512
+	s := NewMemStore(2, blockSize)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			d := g % 2
+			buf := make([]byte, blockSize)
+			for i := 0; i < 200; i++ {
+				if g < 4 {
+					for j := range buf {
+						buf[j] = byte(g)
+					}
+					if err := s.WriteAt(d, int64(i%16), buf); err != nil {
+						t.Error(err)
+						return
+					}
+				} else if err := s.ReadAt(d, int64(i%16), buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -5,11 +5,17 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 )
 
 // A BlockStore persists block contents. The simulation pipeline runs without
 // one (operation counts and the timing model need no data); the real index
 // stores encoded postings through one.
+//
+// Implementations must be safe for concurrent use: the parallel batch-apply
+// path issues reads and writes from one worker per disk, and queries read
+// concurrently with a running flush. Both provided stores satisfy this —
+// MemStore with per-disk locks, FileStore through pread/pwrite.
 type BlockStore interface {
 	// ReadAt fills buf with block contents starting at the given block.
 	// len(buf) must be a multiple of the block size.
@@ -23,9 +29,12 @@ type BlockStore interface {
 	Close() error
 }
 
-// MemStore is an in-memory block store.
+// MemStore is an in-memory block store. It is safe for concurrent use:
+// each simulated disk has its own lock, so per-disk workers and concurrent
+// query reads never serialise across disks.
 type MemStore struct {
 	blockSize int
+	mu        []sync.RWMutex // one per disk
 	disks     []map[int64][]byte
 }
 
@@ -35,7 +44,7 @@ func NewMemStore(numDisks, blockSize int) *MemStore {
 	for i := range disks {
 		disks[i] = make(map[int64][]byte)
 	}
-	return &MemStore{blockSize: blockSize, disks: disks}
+	return &MemStore{blockSize: blockSize, mu: make([]sync.RWMutex, numDisks), disks: disks}
 }
 
 func (s *MemStore) check(disk int, block int64, buf []byte) error {
@@ -56,6 +65,8 @@ func (s *MemStore) ReadAt(disk int, block int64, buf []byte) error {
 	if err := s.check(disk, block, buf); err != nil {
 		return err
 	}
+	s.mu[disk].RLock()
+	defer s.mu[disk].RUnlock()
 	for off := 0; off < len(buf); off += s.blockSize {
 		b := s.disks[disk][block+int64(off/s.blockSize)]
 		if b == nil {
@@ -74,6 +85,8 @@ func (s *MemStore) WriteAt(disk int, block int64, buf []byte) error {
 	if err := s.check(disk, block, buf); err != nil {
 		return err
 	}
+	s.mu[disk].Lock()
+	defer s.mu[disk].Unlock()
 	for off := 0; off < len(buf); off += s.blockSize {
 		b := make([]byte, s.blockSize)
 		copy(b, buf[off:off+s.blockSize])
@@ -89,7 +102,9 @@ func (s *MemStore) Sync() error { return nil }
 func (s *MemStore) Close() error { return nil }
 
 // FileStore backs each simulated disk with one file, the equivalent of the
-// paper's raw disk partitions for runs that want real I/O.
+// paper's raw disk partitions for runs that want real I/O. ReadAt and
+// WriteAt go through positional pread/pwrite, so the store is safe for
+// concurrent use without additional locking.
 type FileStore struct {
 	blockSize int
 	files     []*os.File

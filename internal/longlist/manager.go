@@ -32,6 +32,10 @@ type Manager struct {
 	// signal of the adaptive allocation strategy. Nil unless needed.
 	lastUpdate map[postings.WordID]int64
 
+	// sink, when non-nil, receives the data-movement half of each Append
+	// instead of it executing inline; see SetSink.
+	sink func(disk int, run func() error)
+
 	stats Stats
 }
 
@@ -104,6 +108,27 @@ func (m *Manager) Stats() Stats { return m.stats }
 // Directory returns the chunk directory the manager maintains.
 func (m *Manager) Directory() *directory.Dir { return m.dir }
 
+// SetSink splits each Append into its two halves: the deterministic half
+// (allocation, directory updates, trace recording) keeps executing inline on
+// the caller's goroutine, while the data-movement half (store reads, posting
+// encoding, store writes) is handed to sink together with the disk it
+// writes to. The batch-update path uses this to apply a batch with one
+// worker per disk while the I/O trace stays byte-identical to the serial
+// execution. A nil sink restores inline execution (the default). The sink
+// discipline requires that all deferred tasks complete before the next
+// Append-visible state change (EndBatch, Rewrite, reads).
+func (m *Manager) SetSink(sink func(disk int, run func() error)) { m.sink = sink }
+
+// dispatch runs the data-movement half of an operation: inline when no sink
+// is installed, otherwise deferred to the sink's worker for the disk.
+func (m *Manager) dispatch(disk int, run func() error) error {
+	if m.sink != nil {
+		m.sink(disk, run)
+		return nil
+	}
+	return run()
+}
+
 func (m *Manager) blocksFor(ps int64) int64 {
 	if ps <= 0 {
 		return 0
@@ -170,52 +195,84 @@ func (m *Manager) updateInPlace(w postings.WordID, last directory.ChunkRef, coun
 	}
 	lastBlock := (last.Postings + count - 1) / m.blockPosting
 	readBlock := last.Block + firstBlock
+	writeBlocks := lastBlock - firstBlock + 1
+	appendOff := (last.Postings % m.blockPosting) * PostingBytes
 
-	buf, err := m.array.ReadBlocksAt(last.Disk, readBlock, 1, disk.TagLong)
+	m.array.RecordRead(last.Disk, readBlock, 1, disk.TagLong)
+	m.array.RecordWrite(last.Disk, readBlock, writeBlocks, disk.TagLong)
+	err := m.dispatch(last.Disk, func() error {
+		buf, err := m.array.StoreReadAt(last.Disk, readBlock, 1)
+		if err != nil {
+			return err
+		}
+		var out []byte
+		if m.array.HasStore() {
+			blockSize := int64(m.array.Geometry().BlockSize)
+			out = make([]byte, writeBlocks*blockSize)
+			copy(out, buf)
+			writeRecords(out[appendOff:], list)
+		}
+		return m.array.StoreWriteAt(last.Disk, readBlock, writeBlocks, out)
+	})
 	if err != nil {
-		return err
-	}
-	var out []byte
-	if m.array.HasStore() {
-		blockSize := int64(m.array.Geometry().BlockSize)
-		out = make([]byte, (lastBlock-firstBlock+1)*blockSize)
-		copy(out, buf)
-		writeRecords(out[(last.Postings%m.blockPosting)*PostingBytes:], list)
-	}
-	if err := m.array.WriteBlocksAt(last.Disk, readBlock, lastBlock-firstBlock+1, out, disk.TagLong); err != nil {
 		return err
 	}
 	return m.dir.GrowLastChunk(w, count)
 }
 
 // appendWhole implements lines 4-6: read the whole list, release its chunks,
-// and write old+new postings as one fresh chunk with reserved space.
+// and write old+new postings as one fresh chunk with reserved space. The
+// reads and the write are recorded inline (deterministic trace); the data
+// movement — reading the old chunks, merging and re-encoding — runs through
+// dispatch, on the target disk's worker when a sink is installed.
 func (m *Manager) appendWhole(w postings.WordID, count int64, list *postings.List, exists bool) error {
 	total := count
-	var combined *postings.List
-	if m.array.HasStore() {
-		combined = &postings.List{}
-	}
+	var oldChunks []directory.ChunkRef
 	if exists {
-		old, oldList, err := m.readAll(w)
-		if err != nil {
-			return err
+		oldChunks = append(oldChunks, m.dir.Chunks(w)...)
+		for _, c := range oldChunks {
+			if c.Postings == 0 {
+				continue
+			}
+			total += c.Postings
+			m.array.RecordRead(c.Disk, c.Block, m.blocksFor(c.Postings), disk.TagLong)
 		}
-		total += old
-		if combined != nil {
-			combined = oldList
-		}
-		for _, c := range m.dir.Chunks(w) {
+		for _, c := range oldChunks {
 			m.release = append(m.release, releasedChunk{c.Disk, c.Block, c.Blocks})
 		}
 		m.stats.Moves++
 	}
-	if combined != nil {
-		if err := combined.Append(list); err != nil {
-			return fmt.Errorf("longlist: word %d: %w", w, err)
-		}
+	ref, err := m.planReserved(total, count)
+	if err != nil {
+		return err
 	}
-	ref, err := m.writeReserved(total, count, combined)
+	err = m.dispatch(ref.Disk, func() error {
+		var data []byte
+		if m.array.HasStore() {
+			combined := &postings.List{}
+			for _, c := range oldChunks {
+				if c.Postings == 0 {
+					continue
+				}
+				buf, err := m.array.StoreReadAt(c.Disk, c.Block, m.blocksFor(c.Postings))
+				if err != nil {
+					return err
+				}
+				part, err := readRecords(buf, c.Postings)
+				if err != nil {
+					return fmt.Errorf("longlist: word %d chunk at %d/%d: %w", w, c.Disk, c.Block, err)
+				}
+				if err := combined.Append(part); err != nil {
+					return fmt.Errorf("longlist: word %d: %w", w, err)
+				}
+			}
+			if err := combined.Append(list); err != nil {
+				return fmt.Errorf("longlist: word %d: %w", w, err)
+			}
+			data = recordsOf(combined, 0, total)
+		}
+		return m.array.StoreWriteAt(ref.Disk, ref.Block, m.blocksFor(total), data)
+	})
 	if err != nil {
 		return err
 	}
@@ -233,15 +290,20 @@ func (m *Manager) appendFill(w postings.WordID, count int64, list *postings.List
 		if n > extentCap {
 			n = extentCap
 		}
-		var data []byte
-		if m.array.HasStore() {
-			data = recordsOf(list, off, n)
-		}
 		d, block, err := m.alloc(m.policy.ExtentBlocks)
 		if err != nil {
 			return err
 		}
-		if err := m.array.WriteBlocksAt(d, block, m.blocksFor(n), data, disk.TagLong); err != nil {
+		m.array.RecordWrite(d, block, m.blocksFor(n), disk.TagLong)
+		extOff := off
+		err = m.dispatch(d, func() error {
+			var data []byte
+			if m.array.HasStore() {
+				data = recordsOf(list, extOff, n)
+			}
+			return m.array.StoreWriteAt(d, block, m.blocksFor(n), data)
+		})
+		if err != nil {
 			return err
 		}
 		ref := directory.ChunkRef{
@@ -266,12 +328,13 @@ func (m *Manager) appendNew(w postings.WordID, count int64, list *postings.List)
 	return m.dir.AppendChunk(w, ref)
 }
 
-// writeReserved implements WRITE_RESERVED(a): one write of x postings into a
-// freshly allocated chunk sized f(x) by the allocation strategy. upd is the
-// size of the in-memory update being applied, the signal of the adaptive
-// strategy. Only the data blocks are written; reserved blocks are allocated
-// but untouched.
-func (m *Manager) writeReserved(x, upd int64, list *postings.List) (directory.ChunkRef, error) {
+// planReserved performs the deterministic half of WRITE_RESERVED(a): size
+// the chunk by the allocation strategy f(x), allocate it, and record the
+// write of the x data blocks. The caller dispatches the matching data
+// movement. upd is the size of the in-memory update being applied, the
+// signal of the adaptive strategy. Only the data blocks are written;
+// reserved blocks are allocated but untouched.
+func (m *Manager) planReserved(x, upd int64) (directory.ChunkRef, error) {
 	var blocks int64
 	switch m.policy.Alloc {
 	case AllocConstant:
@@ -298,17 +361,31 @@ func (m *Manager) writeReserved(x, upd int64, list *postings.List) (directory.Ch
 	if err != nil {
 		return directory.ChunkRef{}, err
 	}
-	var data []byte
-	if m.array.HasStore() {
-		data = recordsOf(list, 0, x)
-	}
-	if err := m.array.WriteBlocksAt(d, block, m.blocksFor(x), data, disk.TagLong); err != nil {
-		return directory.ChunkRef{}, err
-	}
+	m.array.RecordWrite(d, block, m.blocksFor(x), disk.TagLong)
 	return directory.ChunkRef{
 		Disk: d, Block: block, Blocks: blocks,
 		Postings: x, Capacity: blocks * m.blockPosting,
 	}, nil
+}
+
+// writeReserved is WRITE_RESERVED(a) in full: planReserved plus the data
+// movement, dispatched to the target disk's worker when a sink is installed.
+func (m *Manager) writeReserved(x, upd int64, list *postings.List) (directory.ChunkRef, error) {
+	ref, err := m.planReserved(x, upd)
+	if err != nil {
+		return directory.ChunkRef{}, err
+	}
+	err = m.dispatch(ref.Disk, func() error {
+		var data []byte
+		if m.array.HasStore() {
+			data = recordsOf(list, 0, x)
+		}
+		return m.array.StoreWriteAt(ref.Disk, ref.Block, m.blocksFor(x), data)
+	})
+	if err != nil {
+		return directory.ChunkRef{}, err
+	}
+	return ref, nil
 }
 
 // alloc chooses a disk round-robin ("the strategy considered here is to
@@ -334,9 +411,19 @@ func (m *Manager) alloc(blocks int64) (int, int64, error) {
 // operation per chunk — exactly the paper's query cost metric) and return
 // the posting count and, with a store, the decoded postings.
 func (m *Manager) readAll(w postings.WordID) (int64, *postings.List, error) {
+	return m.ReadChunks(w, m.dir.Chunks(w))
+}
+
+// ReadChunks reads the given chunks of word w's long list (one operation
+// per non-empty chunk) and returns the posting count and, with a store, the
+// decoded postings. The chunks may come from the live directory or from a
+// directory snapshot: queries running concurrently with a batch flush read
+// through a snapshot whose chunks stay intact until the flush completes.
+// ReadChunks is safe to call from multiple goroutines.
+func (m *Manager) ReadChunks(w postings.WordID, chunks []directory.ChunkRef) (int64, *postings.List, error) {
 	var total int64
 	out := &postings.List{}
-	for _, c := range m.dir.Chunks(w) {
+	for _, c := range chunks {
 		if c.Postings == 0 {
 			continue
 		}
@@ -360,14 +447,21 @@ func (m *Manager) readAll(w postings.WordID) (int64, *postings.List, error) {
 
 // ReadList reads word w's entire long list for query evaluation, returning
 // the postings (nil without a store) and the number of read operations
-// performed.
+// performed. The count is derived from the chunk list rather than a global
+// counter delta, so it stays exact when other goroutines do I/O in parallel.
 func (m *Manager) ReadList(w postings.WordID) (*postings.List, int, error) {
-	before := m.array.ReadOps()
-	_, list, err := m.readAll(w)
+	chunks := m.dir.Chunks(w)
+	reads := 0
+	for _, c := range chunks {
+		if c.Postings > 0 {
+			reads++
+		}
+	}
+	_, list, err := m.ReadChunks(w, chunks)
 	if err != nil {
 		return nil, 0, err
 	}
-	return list, int(m.array.ReadOps() - before), nil
+	return list, reads, nil
 }
 
 // Rewrite replaces w's long list contents with the given postings (the

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Full verification sweep: build every package, vet, and run the whole test
+# suite under the race detector. This is what `make check` runs and what a
+# change must pass before it lands.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo '== go build ./...'
+go build ./...
+echo '== go vet ./...'
+go vet ./...
+echo '== go test -race ./...'
+go test -race ./...
