@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the gate a change must pass.
 
-.PHONY: check build test race bench
+.PHONY: check build test race bench bench-shard
 
 check:
 	./scripts/check.sh
@@ -17,3 +17,8 @@ race:
 # The parallel-path benchmarks (flush, query fetch, block cache).
 bench:
 	go test -bench 'Parallel|BlockCache' -run '^$$' .
+
+# Shard-scaling benchmarks: ingest and query throughput at 1, 2 and 4
+# shards, written to BENCH_shard.json.
+bench-shard:
+	go test -run '^TestShardBenchReport$$' -count=1 -v .

@@ -1,0 +1,168 @@
+// Benchmarks for the sharded engine: batch-flush and query time at 1, 2 and
+// 4 shards over the same corpus on a latency-modelled store (the same
+// per-operation service time the parallel-path benchmarks use). Shards hold
+// independent disk arrays and flush and fetch concurrently, so what is
+// measured is cross-shard I/O overlap — the scaling survives even a
+// single-core host. TestShardBenchReport reruns the points through
+// testing.Benchmark and writes the scaling to BENCH_shard.json.
+package dualindex
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"dualindex/internal/disk"
+)
+
+// benchShardOpts is the per-shard geometry used by every point, so the only
+// variable across points is the shard count.
+func benchShardOpts(shards int) Options {
+	return Options{
+		Shards:        shards,
+		Buckets:       64,
+		BucketSize:    128, // small buckets: the corpus spills into long lists
+		NumDisks:      4,
+		BlocksPerDisk: 65536,
+		BlockSize:     512,
+		newStore: func(numDisks, blockSize int) disk.BlockStore {
+			return slowStore{disk.NewMemStore(numDisks, blockSize), benchDelay}
+		},
+	}
+}
+
+var benchShardCorpus = synthTexts(97, 400, 120, 40)
+
+// benchShardFlush measures FlushBatch — the paper's incremental batch update
+// — applying the buffered corpus to each shard's disk array. Buffering the
+// documents (pure CPU, identical at every shard count) is untimed.
+func benchShardFlush(b *testing.B, shards int) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		eng, err := Open(benchShardOpts(shards))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, text := range benchShardCorpus {
+			eng.AddDocument(text)
+		}
+		b.StartTimer()
+		if _, err := eng.FlushBatch(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := eng.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkShardFlush compares batch-flush time across shard counts.
+func BenchmarkShardFlush(b *testing.B) {
+	b.Run("shards=1", func(b *testing.B) { benchShardFlush(b, 1) })
+	b.Run("shards=2", func(b *testing.B) { benchShardFlush(b, 2) })
+	b.Run("shards=4", func(b *testing.B) { benchShardFlush(b, 4) })
+}
+
+// benchShardQuery measures a mixed query workload — multi-term boolean
+// expressions, a prefix expansion and a many-word vector query — against an
+// engine pre-loaded with the corpus.
+func benchShardQuery(b *testing.B, shards int) {
+	eng, err := Open(benchShardOpts(shards))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	for j, text := range benchShardCorpus {
+		eng.AddDocument(text)
+		if (j+1)%100 == 0 {
+			if _, err := eng.FlushBatch(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	booleans := []string{
+		"waa and wab",
+		"wac or (wad and not wae)",
+		"wa* and not waa",
+		"(waf or wag) and (wah or wai)",
+	}
+	vector := "waa wab wac wad wae waf wag wah wai waj wak wal wam wan wao wap"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range booleans {
+			if _, err := eng.SearchBoolean(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := eng.SearchVector(vector, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardQuery compares query throughput across shard counts.
+func BenchmarkShardQuery(b *testing.B) {
+	b.Run("shards=1", func(b *testing.B) { benchShardQuery(b, 1) })
+	b.Run("shards=2", func(b *testing.B) { benchShardQuery(b, 2) })
+	b.Run("shards=4", func(b *testing.B) { benchShardQuery(b, 4) })
+}
+
+// shardBenchReport is the schema of BENCH_shard.json. Speedups are the
+// 1-shard time over the N-shard time for the same work.
+type shardBenchReport struct {
+	FlushNsOp    map[string]int64   `json:"flush_ns_op"`
+	FlushSpeedup map[string]float64 `json:"flush_speedup"`
+	QueryNsOp    map[string]int64   `json:"query_ns_op"`
+	QuerySpeedup map[string]float64 `json:"query_speedup"`
+}
+
+// TestShardBenchReport measures flush and query time at 1, 2 and 4 shards
+// and writes the scaling to BENCH_shard.json. Skipped under -short.
+func TestShardBenchReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark harness skipped in -short mode")
+	}
+	rep := shardBenchReport{
+		FlushNsOp:    map[string]int64{},
+		FlushSpeedup: map[string]float64{},
+		QueryNsOp:    map[string]int64{},
+		QuerySpeedup: map[string]float64{},
+	}
+	for _, shards := range []int{1, 2, 4} {
+		shards := shards
+		key := map[int]string{1: "shards_1", 2: "shards_2", 4: "shards_4"}[shards]
+		rep.FlushNsOp[key] = testing.Benchmark(func(b *testing.B) { benchShardFlush(b, shards) }).NsPerOp()
+		rep.QueryNsOp[key] = testing.Benchmark(func(b *testing.B) { benchShardQuery(b, shards) }).NsPerOp()
+	}
+	for _, key := range []string{"shards_2", "shards_4"} {
+		rep.FlushSpeedup[key] = float64(rep.FlushNsOp["shards_1"]) / float64(rep.FlushNsOp[key])
+		rep.QuerySpeedup[key] = float64(rep.QueryNsOp["shards_1"]) / float64(rep.QueryNsOp[key])
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_shard.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("flush speedup: 2 shards %.2fx, 4 shards %.2fx; query speedup: 2 shards %.2fx, 4 shards %.2fx",
+		rep.FlushSpeedup["shards_2"], rep.FlushSpeedup["shards_4"],
+		rep.QuerySpeedup["shards_2"], rep.QuerySpeedup["shards_4"])
+	// The exact scaling depends on the host, but sharded flushes overlap
+	// their disk time, so a sharded run slower than the unsharded one means
+	// the fan-out machinery itself regressed.
+	for key, sp := range rep.FlushSpeedup {
+		if sp < 1.0 {
+			t.Errorf("flush at %s is %.2fx the 1-shard speed — fan-out overhead regressed", key, sp)
+		}
+	}
+	for key, sp := range rep.QuerySpeedup {
+		if sp < 0.9 {
+			t.Errorf("query at %s is %.2fx the 1-shard speed — fan-out overhead regressed", key, sp)
+		}
+	}
+}

@@ -16,7 +16,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
-	"sort"
+	"slices"
 	"strings"
 	"time"
 
@@ -32,10 +32,11 @@ func main() {
 		policy    = flag.String("policy", "balanced", "fast-update | balanced | fast-query | extents")
 		buckets   = flag.Int("buckets", 256, "number of buckets")
 		bsize     = flag.Int("bucketsize", 8192, "bucket size in word+posting units")
+		shards    = flag.Int("shards", 1, "index shards (must match on reopen)")
 		check     = flag.Bool("check", true, "run the consistency check after the build")
 	)
 	flag.Parse()
-	if err := run(*corpusDir, *indexDir, *policy, *buckets, *bsize, *check); err != nil {
+	if err := run(*corpusDir, *indexDir, *policy, *buckets, *bsize, *shards, *check); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -54,7 +55,7 @@ func policyByName(name string) (dualindex.Policy, error) {
 	return dualindex.Policy{}, fmt.Errorf("unknown policy %q", name)
 }
 
-func run(corpusDir, indexDir, policyName string, buckets, bucketSize int, check bool) error {
+func run(corpusDir, indexDir, policyName string, buckets, bucketSize, shards int, check bool) error {
 	pol, err := policyByName(policyName)
 	if err != nil {
 		return err
@@ -66,10 +67,11 @@ func run(corpusDir, indexDir, policyName string, buckets, bucketSize int, check 
 	if len(days) == 0 {
 		return fmt.Errorf("no day-*.txt files in %s (run cmd/newsgen first)", corpusDir)
 	}
-	sort.Strings(days)
+	slices.Sort(days)
 
 	eng, err := dualindex.Open(dualindex.Options{
 		Dir:        indexDir,
+		Shards:     shards,
 		Policy:     &pol,
 		Buckets:    buckets,
 		BucketSize: bucketSize,
@@ -105,8 +107,8 @@ func run(corpusDir, indexDir, policyName string, buckets, bucketSize int, check 
 			st.ReadOps, st.WriteOps, time.Since(start).Round(time.Millisecond))
 	}
 	s := eng.Stats()
-	fmt.Printf("\nindex: %d docs, %d words, %d long lists, %d bucket words\n",
-		s.Docs, s.Words, s.LongLists, s.BucketWords)
+	fmt.Printf("\nindex: %d docs, %d words, %d long lists, %d bucket words (%d shards)\n",
+		s.Docs, s.Words, s.LongLists, s.BucketWords, shards)
 	fmt.Printf("long-list utilization %.2f, avg reads per long list %.2f\n",
 		s.Utilization, s.AvgReadsPerList)
 	if check {

@@ -29,10 +29,15 @@ func main() {
 		phrase   = flag.Bool("phrase", false, "exact phrase query (requires an index built with documents kept)")
 		near     = flag.Int("near", 0, "proximity window: treat the two query words as 'w1 within N words of w2'")
 		docs     = flag.Bool("docs", false, "keep/load stored documents (enables -phrase and -near)")
+		shards   = flag.Int("shards", 1, "index shards (must match the build)")
 	)
 	flag.Parse()
 
-	eng, err := dualindex.Open(dualindex.Options{Dir: *indexDir, KeepDocuments: *docs || *phrase || *near > 0})
+	eng, err := dualindex.Open(dualindex.Options{
+		Dir:           *indexDir,
+		Shards:        *shards,
+		KeepDocuments: *docs || *phrase || *near > 0,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,237 @@
+// Package dualindex is a text-retrieval engine built on the dual-structure
+// inverted index of Tomasic, Garcia-Molina and Shoens, "Incremental Updates
+// of Inverted Lists for Text Document Retrieval" (SIGMOD 1994).
+//
+// Documents are tokenized and buffered in an in-memory inverted index; a
+// batch flush applies them to the on-disk index incrementally, in place:
+// short inverted lists live together in fixed-size buckets, long lists live
+// in chunks governed by a configurable allocation policy, and every flush
+// checkpoints the index so an interrupted build restarts at the last batch
+// boundary. Queries — boolean expressions or vector-space rankings — see
+// both the on-disk index and the still-unflushed batch, and documents can
+// be deleted logically and reclaimed by a background-style sweep.
+//
+// The engine scales out by sharding: Options.Shards splits it into that
+// many independent dual-structure indexes behind one facade. A stable hash
+// of the document identifier routes each document to one shard; queries fan
+// out to every shard and merge their sorted answers. One shard (the
+// default) is exactly the unsharded engine, simulated I/O traces included.
+//
+// # Quick start
+//
+//	eng, _ := dualindex.Open(dualindex.Options{})
+//	eng.AddDocument("the quick brown fox")
+//	eng.AddDocument("the lazy dog")
+//	eng.FlushBatch()
+//	docs, _ := eng.SearchBoolean("quick and fox")
+package dualindex
+
+import (
+	"sync"
+
+	"dualindex/internal/postings"
+)
+
+// Engine is a searchable, incrementally updatable document index, served by
+// one or more routed shards.
+//
+// Engine is safe for concurrent use. The engine itself holds almost no
+// state — a short mutex guards the document-identifier sequence — and every
+// other operation routes or fans out to the shards, each of which keeps the
+// pre-sharding concurrency discipline: searches under a read lock, flushes
+// that only lock at their boundaries, maintenance serialised on a per-shard
+// flush lock. Shards therefore add, flush and answer in parallel.
+type Engine struct {
+	opts   Options
+	shards []*shard
+
+	mu      sync.Mutex // guards nextDoc
+	nextDoc postings.DocID
+}
+
+// shardIndex routes a document identifier to a shard with a stable integer
+// hash (the SplitMix64 finalizer), so the assignment never depends on
+// insertion order, shard state, or process lifetime — only on the
+// identifier and the shard count.
+func shardIndex(doc postings.DocID, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	x := uint64(doc)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(n))
+}
+
+// shardFor returns the shard owning the document.
+func (e *Engine) shardFor(doc postings.DocID) *shard {
+	return e.shards[shardIndex(doc, len(e.shards))]
+}
+
+// fanOut runs fn on every shard — concurrently when there is more than one
+// — and collects the per-shard results in shard order. The first error
+// wins.
+func fanOut[T any](e *Engine, fn func(*shard) (T, error)) ([]T, error) {
+	out := make([]T, len(e.shards))
+	if len(e.shards) == 1 {
+		var err error
+		out[0], err = fn(e.shards[0])
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	errs := make([]error, len(e.shards))
+	var wg sync.WaitGroup
+	for i, s := range e.shards {
+		wg.Add(1)
+		go func(i int, s *shard) {
+			defer wg.Done()
+			out[i], errs[i] = fn(s)
+		}(i, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// AddDocument tokenizes text, assigns it the next document identifier and
+// routes it to its shard's pending batch, returning the identifier.
+//
+// The shard lock is acquired while the identifier lock is still held, so a
+// shard receives its documents in identifier order and a concurrent flush
+// can never detach a batch that skips an identifier below one it contains —
+// the append-only long lists require ascending identifiers across batches.
+// Tokenization runs under the shard lock only, so additions to different
+// shards tokenize in parallel.
+func (e *Engine) AddDocument(text string) DocID {
+	e.mu.Lock()
+	e.nextDoc++
+	doc := e.nextDoc
+	s := e.shardFor(doc)
+	s.mu.Lock()
+	e.mu.Unlock()
+	s.addDocumentLocked(doc, text)
+	s.mu.Unlock()
+	return doc
+}
+
+// PendingDocs reports how many documents await a flush, across all shards.
+func (e *Engine) PendingDocs() int {
+	n := 0
+	for _, s := range e.shards {
+		n += s.numPending()
+	}
+	return n
+}
+
+// FlushBatch applies every shard's pending batch to its on-disk index — the
+// paper's incremental batch update — and checkpoints each shard. Shards
+// flush concurrently, at most Options.Workers at a time. The returned
+// BatchStats aggregates all shards: documents, words, postings, evictions
+// and read/write operations are summed over the per-shard batches. A flush
+// with no pending documents anywhere is a no-op.
+//
+// Searches are not blocked while batches are applied; each shard publishes
+// a pre-flush snapshot that its queries read mid-flush (see shard.flushBatch
+// for the full protocol). On error the failing shard restores its pending
+// batch, so no documents are lost; shards that already flushed stay
+// flushed, which is safe because every shard checkpoints independently.
+func (e *Engine) FlushBatch() (BatchStats, error) {
+	stats := make([]BatchStats, len(e.shards))
+	errs := make([]error, len(e.shards))
+	if len(e.shards) == 1 {
+		stats[0], errs[0] = e.shards[0].flushBatch()
+	} else {
+		workers := e.opts.Workers
+		if workers < 1 {
+			workers = 1
+		}
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i, s := range e.shards {
+			wg.Add(1)
+			go func(i int, s *shard) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				stats[i], errs[i] = s.flushBatch()
+			}(i, s)
+		}
+		wg.Wait()
+	}
+	var out BatchStats
+	for _, st := range stats {
+		out = out.add(st)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return BatchStats{}, err
+		}
+	}
+	return out, nil
+}
+
+// Delete marks a document deleted; it disappears from results immediately
+// and its postings are reclaimed by Sweep. Delete waits for any running
+// flush of the owning shard to finish.
+func (e *Engine) Delete(doc DocID) {
+	e.shardFor(doc).delete(doc)
+}
+
+// Sweep physically reclaims the postings of deleted documents from every
+// shard and, when documents are kept, compacts them out of the document
+// stores.
+func (e *Engine) Sweep() error {
+	for _, s := range e.shards {
+		if err := s.sweep(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RebalanceBuckets moves every short list of every shard into a new bucket
+// space of the given (per-shard) geometry and checkpoints the result. Query
+// answers are unaffected; only the short/long division shifts.
+func (e *Engine) RebalanceBuckets(buckets, bucketSize int) error {
+	for _, s := range e.shards {
+		if err := s.rebalanceBuckets(buckets, bucketSize); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckConsistency verifies every shard's structural invariants — the
+// dual-structure property, chunk placement and overlap, block conservation,
+// and (for persistent engines) that every long list decodes cleanly. Run it
+// after reopening an index to validate the checkpoints.
+func (e *Engine) CheckConsistency() error {
+	for _, s := range e.shards {
+		if err := s.checkConsistency(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases the engine's resources, persisting each shard's vocabulary
+// first for on-disk engines. All shards are closed even if one fails; the
+// first error is returned.
+func (e *Engine) Close() error {
+	var first error
+	for _, s := range e.shards {
+		if err := s.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -13,7 +13,7 @@ package bucket
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
+	"slices"
 
 	"dualindex/internal/postings"
 )
@@ -379,6 +379,6 @@ func sortedWords(m map[postings.WordID]*entry) []postings.WordID {
 	for w := range m {
 		out = append(out, w)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }

@@ -1,8 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"dualindex/internal/postings"
 )
@@ -71,7 +72,7 @@ func (ix *Index) CheckConsistency() error {
 		perDisk[s.disk] = append(perDisk[s.disk], s)
 	}
 	for d, ss := range perDisk {
-		sort.Slice(ss, func(i, j int) bool { return ss[i].start < ss[j].start })
+		slices.SortFunc(ss, func(a, b span) int { return cmp.Compare(a.start, b.start) })
 		for i := 1; i < len(ss); i++ {
 			prev, cur := ss[i-1], ss[i]
 			if prev.start+prev.count > cur.start {

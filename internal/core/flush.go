@@ -3,7 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
+	"slices"
 
 	"dualindex/internal/disk"
 	"dualindex/internal/postings"
@@ -206,7 +206,7 @@ func encodeDocSet(set map[postings.DocID]bool) []byte {
 	for d := range set {
 		docs = append(docs, d)
 	}
-	sort.Slice(docs, func(i, j int) bool { return docs[i] < docs[j] })
+	slices.Sort(docs)
 	var b []byte
 	b = binary.AppendUvarint(b, uint64(len(docs)))
 	prev := uint64(0)

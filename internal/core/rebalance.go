@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"dualindex/internal/bucket"
 	"dualindex/internal/postings"
@@ -49,7 +49,7 @@ func (ix *Index) RebalanceBuckets(numBuckets, bucketSize int) error {
 	ix.buckets.ForEachWord(func(w postings.WordID, count int) {
 		lists = append(lists, shortList{w: w, count: count, list: ix.buckets.List(w)})
 	})
-	sort.Slice(lists, func(i, j int) bool { return lists[i].w < lists[j].w })
+	slices.SortFunc(lists, func(a, b shortList) int { return int(a.w) - int(b.w) })
 
 	for _, sl := range lists {
 		evs, err := fresh.Add(sl.w, sl.count, sl.list)

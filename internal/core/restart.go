@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"dualindex/internal/bucket"
@@ -10,6 +11,11 @@ import (
 	"dualindex/internal/longlist"
 	"dualindex/internal/postings"
 )
+
+// ErrNoCheckpoint reports a store that holds no completed checkpoint: its
+// files exist but no batch was ever flushed, so the superblock region is
+// still zeroed. Callers can treat such a store as a fresh index.
+var ErrNoCheckpoint = errors.New("core: store holds no checkpoint")
 
 // Open resumes an index from its last completed batch: the paper's
 // restartability property ("the algorithms and data structures are
@@ -49,8 +55,11 @@ func (ix *Index) restoreSuperblock(buf []byte) error {
 	if err != nil {
 		return err
 	}
+	if magic == 0 {
+		return ErrNoCheckpoint
+	}
 	if magic != superMagic {
-		return fmt.Errorf("core: bad superblock magic %#x (no checkpoint on this store?)", magic)
+		return fmt.Errorf("core: bad superblock magic %#x", magic)
 	}
 	version, err := next()
 	if err != nil {

@@ -16,7 +16,7 @@ package corpus
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"dualindex/internal/postings"
 )
@@ -90,7 +90,7 @@ func containsWord(ws []WordID, w WordID) bool {
 }
 
 func sortWordCounts(s []WordCount) {
-	sort.Slice(s, func(i, j int) bool { return s[i].Word < s[j].Word })
+	slices.SortFunc(s, func(a, b WordCount) int { return int(a.Word) - int(b.Word) })
 }
 
 // Config controls corpus generation. Use DefaultConfig (optionally scaled)
@@ -264,7 +264,7 @@ func (g *Generator) docWords() []WordID {
 }
 
 func sortWords(s []WordID) {
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
 }
 
 // GenerateAll runs the generator to completion and returns every batch.

@@ -1,8 +1,9 @@
 package corpus
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -51,7 +52,7 @@ func ComputeStats(batches []*Batch) Stats {
 	for _, c := range freq {
 		counts = append(counts, c)
 	}
-	sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+	slices.SortFunc(counts, func(a, b int64) int { return cmp.Compare(b, a) })
 	s.FrequentCutoff = FrequentFraction
 	s.FrequentWords = int(float64(s.TotalWords) * FrequentFraction)
 	s.InfrequentWords = s.TotalWords - s.FrequentWords

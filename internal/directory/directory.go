@@ -10,7 +10,7 @@ package directory
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
+	"slices"
 
 	"dualindex/internal/postings"
 )
@@ -178,7 +178,7 @@ func (d *Dir) Words() []postings.WordID {
 	for w := range d.words {
 		out = append(out, w)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"slices"
 
 	"dualindex/internal/postings"
 )
@@ -211,15 +212,26 @@ func (s *File) Close() error {
 // A Walker can enumerate stored documents, used to recover documents that
 // were persisted after the index's last checkpoint.
 type Walker interface {
-	// ForEach calls fn for every stored document, in unspecified order,
-	// stopping at the first error.
+	// ForEach calls fn for every stored document in ascending identifier
+	// order, stopping at the first error. The order guarantee lets crash
+	// recovery rebuild pending batches with per-word lists already sorted.
 	ForEach(fn func(id postings.DocID, text string) error) error
+}
+
+// sortedIDs returns the keys of a document map in ascending order.
+func sortedIDs[V any](m map[postings.DocID]V) []postings.DocID {
+	ids := make([]postings.DocID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	return ids
 }
 
 // ForEach implements Walker for Mem.
 func (m *Mem) ForEach(fn func(id postings.DocID, text string) error) error {
-	for id, text := range m.docs {
-		if err := fn(id, text); err != nil {
+	for _, id := range sortedIDs(m.docs) {
+		if err := fn(id, m.docs[id]); err != nil {
 			return err
 		}
 	}
@@ -228,7 +240,7 @@ func (m *Mem) ForEach(fn func(id postings.DocID, text string) error) error {
 
 // ForEach implements Walker for File.
 func (s *File) ForEach(fn func(id postings.DocID, text string) error) error {
-	for id := range s.offsets {
+	for _, id := range sortedIDs(s.offsets) {
 		text, ok, err := s.Get(id)
 		if err != nil {
 			return err
@@ -272,7 +284,8 @@ func (s *File) Compact(keep func(postings.DocID) bool) error {
 	if err != nil {
 		return err
 	}
-	for id := range s.offsets {
+	// Walk in ascending id order so the compacted log is deterministic.
+	for _, id := range sortedIDs(s.offsets) {
 		if !keep(id) {
 			continue
 		}

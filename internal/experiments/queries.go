@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"math/rand"
+	"slices"
 	"sort"
 
 	"dualindex/internal/longlist"
@@ -95,7 +96,7 @@ func (e *Env) wordDistribution() (words []postings.WordID, cum []int64, all []po
 	for w := range freq {
 		words = append(words, w)
 	}
-	sort.Slice(words, func(i, j int) bool { return words[i] < words[j] })
+	slices.Sort(words)
 	cum = make([]int64, len(words))
 	var sum int64
 	for i, w := range words {

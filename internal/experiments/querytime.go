@@ -1,7 +1,8 @@
 package experiments
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 	"time"
 
 	"dualindex/internal/longlist"
@@ -81,7 +82,7 @@ func (e *Env) QueryTimeStudy() ([]QueryTimeRow, error) {
 		for i := range idx {
 			idx[i] = i
 		}
-		sort.Slice(idx, func(a, b int) bool { return sizes[idx[a]] > sizes[idx[b]] })
+		slices.SortFunc(idx, func(a, b int) int { return cmp.Compare(sizes[b], sizes[a]) })
 		var top []time.Duration
 		for i := 0; i < 10 && i < len(idx); i++ {
 			top = append(top, latencies[idx[i]])

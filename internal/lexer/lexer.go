@@ -7,7 +7,7 @@
 package lexer
 
 import (
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -53,7 +53,7 @@ func Tokenize(doc string, opt Options) []string {
 		}
 		tokens = appendLineTokens(tokens, line, opt)
 	}
-	sort.Strings(tokens)
+	slices.Sort(tokens)
 	if !opt.KeepDuplicates {
 		tokens = dedupeSorted(tokens)
 	}

@@ -14,6 +14,7 @@ package postings
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -57,7 +58,7 @@ func NewList(ps []Posting) *List {
 func FromDocs(docs []DocID) *List {
 	sorted := make([]DocID, len(docs))
 	copy(sorted, docs)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	slices.Sort(sorted)
 	l := &List{}
 	for _, d := range sorted {
 		if n := len(l.ps); n > 0 && l.ps[n-1].Doc == d {

@@ -1,0 +1,96 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"dualindex/internal/postings"
+)
+
+func docIDs(ds ...int) []postings.DocID {
+	out := make([]postings.DocID, len(ds))
+	for i, d := range ds {
+		out[i] = postings.DocID(d)
+	}
+	return out
+}
+
+func TestMergeDocLists(t *testing.T) {
+	cases := []struct {
+		name  string
+		lists [][]postings.DocID
+		want  []postings.DocID
+	}{
+		{"empty", nil, nil},
+		{"all empty", [][]postings.DocID{nil, {}, nil}, nil},
+		{"single", [][]postings.DocID{docIDs(3, 7, 9)}, docIDs(3, 7, 9)},
+		{"disjoint", [][]postings.DocID{docIDs(1, 4), docIDs(2, 5), docIDs(3)}, docIDs(1, 2, 3, 4, 5)},
+		{"interleaved", [][]postings.DocID{docIDs(1, 10, 20), docIDs(5, 15), docIDs(2, 30)},
+			docIDs(1, 2, 5, 10, 15, 20, 30)},
+		{"duplicates dropped", [][]postings.DocID{docIDs(1, 3, 5), docIDs(3, 5, 7)}, docIDs(1, 3, 5, 7)},
+	}
+	for _, tc := range cases {
+		got := MergeDocLists(tc.lists)
+		if fmt.Sprint(got) != fmt.Sprint(tc.want) {
+			t.Errorf("%s: MergeDocLists = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestMergeDocListsRandomAgainstSort(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(5)
+		var lists [][]postings.DocID
+		seen := map[postings.DocID]bool{}
+		for i := 0; i < n; i++ {
+			var l []postings.DocID
+			for j := 0; j < r.Intn(20); j++ {
+				l = append(l, postings.DocID(r.Intn(100)+1))
+			}
+			slices.Sort(l)
+			l = slices.Compact(l)
+			lists = append(lists, l)
+			for _, d := range l {
+				seen[d] = true
+			}
+		}
+		want := make([]postings.DocID, 0, len(seen))
+		for d := range seen {
+			want = append(want, d)
+		}
+		slices.Sort(want)
+		got := MergeDocLists(lists)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("trial %d: %v, want %v (inputs %v)", trial, got, want, lists)
+		}
+	}
+}
+
+func TestMergeMatches(t *testing.T) {
+	g1 := []Match{{Doc: 4, Score: 9}, {Doc: 1, Score: 5}, {Doc: 9, Score: 1}}
+	g2 := []Match{{Doc: 2, Score: 7}, {Doc: 8, Score: 5}, {Doc: 3, Score: 2}}
+	got := MergeMatches([][]Match{g1, g2}, 4)
+	want := []Match{{Doc: 4, Score: 9}, {Doc: 2, Score: 7}, {Doc: 1, Score: 5}, {Doc: 8, Score: 5}}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("MergeMatches = %v, want %v", got, want)
+	}
+	// Ties across groups break by ascending doc: doc 1 (score 5) before doc 8.
+	if got[2].Doc != 1 || got[3].Doc != 8 {
+		t.Errorf("tie order wrong: %v", got)
+	}
+	if ms := MergeMatches([][]Match{g1}, 2); len(ms) != 2 || ms[0].Doc != 4 {
+		t.Errorf("single group truncation = %v", ms)
+	}
+	if ms := MergeMatches(nil, 5); ms != nil {
+		t.Errorf("empty merge = %v", ms)
+	}
+	if ms := MergeMatches([][]Match{g1, g2}, 0); ms != nil {
+		t.Errorf("k=0 merge = %v", ms)
+	}
+	if ms := MergeMatches([][]Match{g1, g2}, 100); len(ms) != 6 {
+		t.Errorf("k beyond total: %d matches, want 6", len(ms))
+	}
+}

@@ -2,7 +2,7 @@ package query
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"dualindex/internal/postings"
 )
@@ -61,12 +61,7 @@ func EvalVector(q VectorQuery, src Source, totalDocs int, k int) ([]Match, error
 	for d, s := range scores {
 		out = append(out, Match{Doc: d, Score: s})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].Doc < out[j].Doc
-	})
+	slices.SortFunc(out, compareMatches)
 	if len(out) > k {
 		out = out[:k]
 	}

@@ -1,0 +1,164 @@
+package dualindex
+
+import (
+	"fmt"
+
+	"dualindex/internal/disk"
+	"dualindex/internal/lexer"
+	"dualindex/internal/longlist"
+	"dualindex/internal/postings"
+)
+
+// DocID identifies a document. Identifiers are assigned in arrival order,
+// which is what keeps long lists append-only.
+type DocID = postings.DocID
+
+// Policy selects the long-list allocation policy — the paper's trade-off
+// dial between update speed and query speed.
+type Policy struct {
+	// Style is "new", "fill" or "whole".
+	Style string
+	// InPlace enables in-place updates into reserved space (the paper's
+	// Limit = z).
+	InPlace bool
+	// Alloc is "constant", "block" or "proportional"; K is its constant.
+	// Ignored unless InPlace is set (and for the fill style).
+	Alloc string
+	K     float64
+	// ExtentBlocks is the fill style's extent size e.
+	ExtentBlocks int64
+}
+
+// The paper's bottom-line policies (§5.4).
+var (
+	// PolicyFastUpdate is the update-optimized extreme: sequential writes,
+	// never a read, poor query locality.
+	PolicyFastUpdate = Policy{Style: "new"}
+	// PolicyBalanced is the paper's recommendation when update time matters
+	// but queries must stay reasonable: new style, in-place, proportional
+	// k = 2.0.
+	PolicyBalanced = Policy{Style: "new", InPlace: true, Alloc: "proportional", K: 2.0}
+	// PolicyFastQuery is the query-optimized extreme: every list stays one
+	// contiguous chunk (whole style, proportional k = 1.2).
+	PolicyFastQuery = Policy{Style: "whole", InPlace: true, Alloc: "proportional", K: 1.2}
+	// PolicyExtents bounds the largest contiguous disk region (fill style,
+	// 2-block extents), convenient for disk arrays.
+	PolicyExtents = Policy{Style: "fill", InPlace: true, ExtentBlocks: 2}
+)
+
+func (p Policy) internal() (longlist.Policy, error) {
+	var out longlist.Policy
+	switch p.Style {
+	case "new", "":
+		out.Style = longlist.StyleNew
+	case "fill":
+		out.Style = longlist.StyleFill
+	case "whole":
+		out.Style = longlist.StyleWhole
+	default:
+		return out, fmt.Errorf("dualindex: unknown style %q", p.Style)
+	}
+	if p.InPlace {
+		out.Limit = longlist.LimitZ
+	}
+	switch p.Alloc {
+	case "constant", "":
+		out.Alloc = longlist.AllocConstant
+	case "block":
+		out.Alloc = longlist.AllocBlock
+	case "proportional":
+		out.Alloc = longlist.AllocProportional
+	default:
+		return out, fmt.Errorf("dualindex: unknown allocation strategy %q", p.Alloc)
+	}
+	out.K = p.K
+	out.ExtentBlocks = p.ExtentBlocks
+	out = out.Normalize()
+	return out, out.Validate()
+}
+
+// Options configure an engine. The zero value gives an in-memory,
+// single-shard engine with the paper's balanced policy and a moderate
+// geometry.
+type Options struct {
+	// Dir persists the index under this directory. A single-shard engine
+	// keeps the pre-sharding flat layout (one file per simulated disk plus a
+	// vocabulary file directly under Dir); with Shards > 1 each shard owns a
+	// Dir/shard-<i>/ subdirectory with that same layout inside. Empty means
+	// in-memory.
+	Dir string
+	// Shards partitions the engine into that many independent index shards.
+	// Documents are routed to a shard by a stable hash of their DocID;
+	// queries fan out to every shard and merge. Each shard owns a full disk
+	// array, bucket space and vocabulary of the sizes configured below, and
+	// its own flush lock, so shards update and answer in parallel. 0 or 1
+	// means one shard, which preserves the unsharded engine's behaviour —
+	// and its simulated I/O traces — exactly.
+	Shards int
+	// Policy defaults to PolicyBalanced.
+	Policy *Policy
+	// Buckets and BucketSize size the short-list structure (per shard); zero
+	// values get defaults sized for a few hundred thousand postings.
+	Buckets    int
+	BucketSize int
+	// NumDisks, BlocksPerDisk and BlockSize describe the disk array (per
+	// shard); zero values get defaults (4 disks × 256 MB of 4 KiB blocks).
+	NumDisks      int
+	BlocksPerDisk int64
+	BlockSize     int
+	// Lexer tokenization options (zero value = the paper's rules).
+	Lexer lexer.Options
+	// KeepDocuments stores the original document text (in memory, or in a
+	// docs.log per shard directory for persistent engines), enabling
+	// Document retrieval and the positional query layer (SearchPhrase,
+	// SearchNear, SearchInRegion).
+	KeepDocuments bool
+	// Workers bounds query-time fetch concurrency within one shard: a
+	// multi-term query reads its inverted lists with at most Workers
+	// goroutines per shard, overlapping reads across the disks of that
+	// shard's array. It also gates the flush path's per-disk parallel batch
+	// apply, and caps how many shards FlushBatch applies concurrently. 0
+	// defaults to NumDisks (one in-flight read per disk); 1 disables the
+	// in-shard parallelism.
+	Workers int
+	// CacheBlocks, when positive, layers an LRU block cache of that many
+	// blocks (per shard) over the store, so repeated reads of hot chunks —
+	// the first block of a long list's last chunk during in-place updates,
+	// the lists of popular query words — are served from memory. Hit/miss/
+	// eviction counters appear in Stats. 0 disables caching.
+	CacheBlocks int
+
+	// newStore overrides the in-memory block-store constructor for each
+	// shard; package benchmarks inject latency-modelled stores through it.
+	// nil means disk.NewMemStore. Ignored for persistent (Dir != "") engines.
+	newStore func(numDisks, blockSize int) disk.BlockStore
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards == 0 {
+		o.Shards = 1
+	}
+	if o.Policy == nil {
+		p := PolicyBalanced
+		o.Policy = &p
+	}
+	if o.Buckets == 0 {
+		o.Buckets = 256
+	}
+	if o.BucketSize == 0 {
+		o.BucketSize = 4096
+	}
+	if o.NumDisks == 0 {
+		o.NumDisks = 4
+	}
+	if o.BlocksPerDisk == 0 {
+		o.BlocksPerDisk = 65536
+	}
+	if o.BlockSize == 0 {
+		o.BlockSize = 4096
+	}
+	if o.Workers == 0 {
+		o.Workers = o.NumDisks
+	}
+	return o
+}

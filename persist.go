@@ -1,0 +1,133 @@
+package dualindex
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dualindex/internal/disk"
+	"dualindex/internal/vocab"
+)
+
+// Open creates an engine, resuming from Dir's last checkpoint when one
+// exists. Documents whose text is not kept and that were added since the
+// last FlushBatch are not part of a checkpoint; re-add them after a crash
+// (with Options.KeepDocuments they are recovered from the document log).
+//
+// On-disk layout: a single-shard engine stores its files (disk*.dat,
+// vocab.txt, docs.log) directly under Dir — the pre-sharding layout,
+// unchanged. A sharded engine gives each shard its own Dir/shard-<i>/
+// subdirectory with that same layout inside, and Open recovers the shards
+// one by one. The shard count is part of the layout: reopening an index
+// with a different Options.Shards than it was built with is refused, since
+// the document-to-shard routing would no longer match.
+func Open(opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	if opts.Shards < 0 {
+		return nil, fmt.Errorf("dualindex: negative shard count %d", opts.Shards)
+	}
+	if opts.Dir != "" {
+		if err := checkShardLayout(opts.Dir, opts.Shards); err != nil {
+			return nil, err
+		}
+	}
+	e := &Engine{opts: opts}
+	for i := 0; i < opts.Shards; i++ {
+		s, err := openShard(opts, shardDir(opts.Dir, i, opts.Shards))
+		if err != nil {
+			for _, prev := range e.shards {
+				prev.close()
+			}
+			return nil, fmt.Errorf("dualindex: shard %d: %w", i, err)
+		}
+		e.shards = append(e.shards, s)
+		if s.lastDoc > e.nextDoc {
+			e.nextDoc = s.lastDoc
+		}
+	}
+	return e, nil
+}
+
+// shardDir returns shard i's directory: Dir itself for a single-shard
+// engine (the flat pre-sharding layout), Dir/shard-<i> otherwise. Empty for
+// in-memory engines.
+func shardDir(dir string, i, shards int) string {
+	if dir == "" {
+		return ""
+	}
+	if shards == 1 {
+		return dir
+	}
+	return filepath.Join(dir, fmt.Sprintf("shard-%d", i))
+}
+
+// checkShardLayout refuses to open an existing index with a shard count
+// other than the one it was built with: the flat layout (disk0.dat directly
+// under Dir) marks a single-shard index, shard-<i> subdirectories mark a
+// sharded one.
+func checkShardLayout(dir string, shards int) error {
+	existing := 0
+	for {
+		if _, err := os.Stat(filepath.Join(dir, fmt.Sprintf("shard-%d", existing), "disk0.dat")); err != nil {
+			break
+		}
+		existing++
+	}
+	_, err := os.Stat(filepath.Join(dir, "disk0.dat"))
+	flat := err == nil
+	switch {
+	case flat && shards > 1:
+		return fmt.Errorf("dualindex: %s holds a single-shard index; reopen it with Shards <= 1", dir)
+	case existing > 0 && shards == 1:
+		return fmt.Errorf("dualindex: %s holds a %d-shard index; reopen it with Shards = %d", dir, existing, existing)
+	case existing > 0 && existing != shards:
+		return fmt.Errorf("dualindex: %s holds a %d-shard index, not %d shards", dir, existing, shards)
+	}
+	return nil
+}
+
+func openFileStore(dir string, disks, blockSize int, resume bool) (disk.BlockStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if !resume {
+		return disk.NewFileStore(dir, disks, blockSize)
+	}
+	// Reopen existing files without truncation.
+	return disk.OpenFileStore(dir, disks, blockSize)
+}
+
+func (s *shard) vocabPath() string { return filepath.Join(s.dir, "vocab.txt") }
+
+func (s *shard) saveVocab() error {
+	tmp := s.vocabPath() + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := s.vocab.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.vocabPath())
+}
+
+func (s *shard) loadVocab() error {
+	f, err := os.Open(s.vocabPath())
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil // empty index checkpoint with no vocabulary yet
+		}
+		return err
+	}
+	defer f.Close()
+	v, err := vocab.Read(f)
+	if err != nil {
+		return err
+	}
+	s.vocab = v
+	return nil
+}

@@ -4,50 +4,40 @@ import (
 	"fmt"
 
 	"dualindex/internal/lexer"
-	"dualindex/internal/postings"
+	"dualindex/internal/query"
 )
 
 // The positional query layer: phrase, proximity and region conditions from
 // the paper's introduction ("the query may also give additional conditions,
 // such as requiring that cat and dog occur within so many words of each
-// other, or that mouse occur within a title region"). The inverted index
-// prunes to candidate documents; the document store verifies positions —
-// the classic candidate-verification design for an abstracts-level index.
+// other, or that mouse occur within a title region"). Each shard's inverted
+// index prunes to candidate documents and its document store verifies
+// positions — the classic candidate-verification design for an
+// abstracts-level index — and the sorted per-shard answers are merged.
 
 // Document returns the stored text of a document. It requires
 // Options.KeepDocuments and returns ok=false for unknown or deleted
 // documents.
 func (e *Engine) Document(id DocID) (text string, ok bool, err error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if e.docs == nil {
-		return "", false, fmt.Errorf("dualindex: Options.KeepDocuments not enabled")
-	}
-	if e.index.IsDeleted(id) {
-		return "", false, nil
-	}
-	return e.docs.Get(id)
+	return e.shardFor(id).document(id)
 }
 
 // SearchPhrase finds documents containing the exact word sequence of
 // phrase (adjacent positions, in order). Requires Options.KeepDocuments.
 func (e *Engine) SearchPhrase(phrase string) ([]DocID, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
 	words := lexer.Tokenize(phrase, e.opts.Lexer)
 	if len(words) == 0 {
 		return nil, fmt.Errorf("dualindex: empty phrase")
 	}
-	return e.verifyCandidates(words, func(toks []lexer.Token) bool {
-		return containsPhrase(toks, orderedWords(phrase, e.opts.Lexer))
+	ordered := orderedWords(phrase, e.opts.Lexer)
+	return e.positional(words, func(toks []lexer.Token) bool {
+		return containsPhrase(toks, ordered)
 	})
 }
 
 // SearchNear finds documents where w1 and w2 occur within k words of each
 // other (in either order). Requires Options.KeepDocuments.
 func (e *Engine) SearchNear(w1, w2 string, k int) ([]DocID, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
 	if k < 1 {
 		return nil, fmt.Errorf("dualindex: proximity window %d < 1", k)
 	}
@@ -55,7 +45,7 @@ func (e *Engine) SearchNear(w1, w2 string, k int) ([]DocID, error) {
 	if a == "" || b == "" {
 		return nil, fmt.Errorf("dualindex: bad proximity words %q, %q", w1, w2)
 	}
-	return e.verifyCandidates([]string{a, b}, func(toks []lexer.Token) bool {
+	return e.positional([]string{a, b}, func(toks []lexer.Token) bool {
 		return containsNear(toks, a, b, k)
 	})
 }
@@ -63,8 +53,6 @@ func (e *Engine) SearchNear(w1, w2 string, k int) ([]DocID, error) {
 // SearchInRegion finds documents where word occurs within the named region
 // ("title" or "body"). Requires Options.KeepDocuments.
 func (e *Engine) SearchInRegion(word, region string) ([]DocID, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
 	if region != lexer.RegionTitle && region != lexer.RegionBody {
 		return nil, fmt.Errorf("dualindex: unknown region %q", region)
 	}
@@ -72,7 +60,7 @@ func (e *Engine) SearchInRegion(word, region string) ([]DocID, error) {
 	if w == "" {
 		return nil, fmt.Errorf("dualindex: bad region word %q", word)
 	}
-	return e.verifyCandidates([]string{w}, func(toks []lexer.Token) bool {
+	return e.positional([]string{w}, func(toks []lexer.Token) bool {
 		for _, tok := range toks {
 			if tok.Word == w && tok.Region == region {
 				return true
@@ -82,41 +70,17 @@ func (e *Engine) SearchInRegion(word, region string) ([]DocID, error) {
 	})
 }
 
-// verifyCandidates intersects the inverted lists of words (the index-level
-// prune) and keeps the candidates whose stored text satisfies check.
-func (e *Engine) verifyCandidates(words []string, check func([]lexer.Token) bool) ([]DocID, error) {
-	if e.docs == nil {
-		return nil, fmt.Errorf("dualindex: positional queries need Options.KeepDocuments")
+// positional fans a candidate-verification query out to every shard and
+// merges the sorted per-shard answers. check must be safe for concurrent
+// use (the checkers above only read).
+func (e *Engine) positional(words []string, check func([]lexer.Token) bool) ([]DocID, error) {
+	lists, err := fanOut(e, func(s *shard) ([]DocID, error) {
+		return s.verifyCandidates(words, check)
+	})
+	if err != nil {
+		return nil, err
 	}
-	var candidates *postings.List
-	for _, w := range words {
-		l, err := e.list(w)
-		if err != nil {
-			return nil, err
-		}
-		if candidates == nil {
-			candidates = l
-		} else {
-			candidates = postings.Intersect(candidates, l)
-		}
-		if candidates.Len() == 0 {
-			return nil, nil
-		}
-	}
-	var out []DocID
-	for _, d := range candidates.Docs() {
-		text, ok, err := e.docs.Get(d)
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			return nil, fmt.Errorf("dualindex: indexed document %d missing from the document store", d)
-		}
-		if check(lexer.TokenizePositions(text, e.opts.Lexer)) {
-			out = append(out, d)
-		}
-	}
-	return out, nil
+	return query.MergeDocLists(lists), nil
 }
 
 // orderedWords tokenizes a phrase preserving order and duplicates.

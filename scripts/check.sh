@@ -5,6 +5,13 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+echo '== gofmt -l .'
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 echo '== go build ./...'
 go build ./...
 echo '== go vet ./...'

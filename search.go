@@ -1,0 +1,67 @@
+package dualindex
+
+import (
+	"dualindex/internal/lexer"
+	"dualindex/internal/query"
+)
+
+// Match is a scored vector-query result.
+type Match = query.Match
+
+// SearchBoolean evaluates a boolean query such as "(cat and dog) or mouse"
+// and returns the matching documents in ascending order. Truncation terms
+// ("inver*") expand through each shard's B-tree dictionary. Pending
+// documents are visible. The query is parsed once, evaluated on every shard
+// concurrently — each shard fetching its term lists with at most
+// Options.Workers reads in flight — and the sorted per-shard answers are
+// k-way merged.
+func (e *Engine) SearchBoolean(q string) ([]DocID, error) {
+	expr, err := query.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	lists, err := fanOut(e, func(s *shard) ([]DocID, error) {
+		return s.searchBoolean(expr)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return query.MergeDocLists(lists), nil
+}
+
+// SearchVector ranks documents against the words of text (a document-like
+// query, the paper's vector-space workload) and returns the top k. Vector
+// queries "often contain many words (more than 100)"; every shard fetches
+// its term lists concurrently (at most Options.Workers reads in flight per
+// shard), scores its own documents, and the per-shard top-k lists are
+// merged into the global top k. Inverse document frequencies use the
+// engine-wide collection size over shard-local list lengths — exact for a
+// single shard, the standard distributed-retrieval approximation otherwise.
+func (e *Engine) SearchVector(text string, k int) ([]Match, error) {
+	words := lexer.Tokenize(text, e.opts.Lexer)
+	e.mu.Lock()
+	total := int(e.nextDoc)
+	e.mu.Unlock()
+	if total == 0 {
+		total = 1
+	}
+	vq := query.FromDocument(words)
+	groups, err := fanOut(e, func(s *shard) ([]Match, error) {
+		return s.searchVector(vq, total, k)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return query.MergeMatches(groups, k), nil
+}
+
+// ReadCost reports how many disk reads a query for word would need — the
+// paper's query-performance metric (1 chunk = 1 read; bucket words are in
+// memory) — summed over the shards holding pieces of the word's list.
+func (e *Engine) ReadCost(word string) int {
+	n := 0
+	for _, s := range e.shards {
+		n += s.readCost(word)
+	}
+	return n
+}

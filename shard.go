@@ -1,0 +1,543 @@
+package dualindex
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
+	"sync"
+
+	"dualindex/internal/cache"
+	"dualindex/internal/core"
+	"dualindex/internal/disk"
+	"dualindex/internal/docstore"
+	"dualindex/internal/lexer"
+	"dualindex/internal/longlist"
+	"dualindex/internal/postings"
+	"dualindex/internal/query"
+	"dualindex/internal/vocab"
+)
+
+// shard is one independent partition of the engine: a complete dual-structure
+// index with its own disk array (or store), bucket space, long-list
+// directory, vocabulary, pending batch and flush lock. It is exactly the
+// pre-sharding Engine with document-identifier assignment lifted out: the
+// Engine assigns identifiers globally and routes each document to one shard,
+// so a single-shard engine behaves — down to the simulated I/O trace —
+// like the unsharded engine did.
+//
+// A shard is safe for concurrent use: searches proceed under a read lock and
+// run concurrently with each other and with document additions' brief write
+// lock. A batch flush holds the write lock only at its boundaries — to
+// detach the pending batch and publish a snapshot, and to retire the
+// snapshot when the batch is applied — so searches keep flowing while the
+// index is updated in place, the paper's continuous 7×24 operational
+// setting. Whole-shard maintenance (delete, sweep, rebalance, close)
+// serialises with flushes on a second mutex.
+type shard struct {
+	mu    sync.RWMutex
+	opts  Options
+	dir   string // this shard's directory; empty for in-memory shards
+	index *core.Index
+	vocab *vocab.Vocab
+	store disk.BlockStore
+	cache *cache.Store // non-nil iff Options.CacheBlocks > 0
+
+	// flushMu serialises the whole-shard mutators: flushBatch, delete,
+	// sweep, rebalanceBuckets and close. Lock order: flushMu before mu.
+	flushMu sync.Mutex
+
+	// While a flush is applying its batch, snap holds the pre-flush index
+	// state and snapBatch the detached batch; searches read them instead of
+	// the live index (guarded by mu: written under Lock, read under RLock).
+	snap      *core.Snapshot
+	snapBatch map[postings.WordID][]postings.DocID
+
+	// The in-memory inverted index of documents awaiting a flush; it is
+	// searched together with the on-disk index, as the paper prescribes.
+	pending     map[postings.WordID][]postings.DocID
+	pendingDocs int
+
+	// lastDoc is the largest document identifier this shard has seen, used
+	// by Open to resume the engine-wide identifier sequence.
+	lastDoc postings.DocID
+
+	docs   docstore.Store // nil unless Options.KeepDocuments
+	docErr error          // first deferred document-store failure
+}
+
+// openShard creates one shard, resuming from dir's last checkpoint when one
+// exists. dir is the shard's own directory (Options.Dir itself for a
+// single-shard engine, Dir/shard-<i> otherwise), or empty for in-memory.
+func openShard(opts Options, dir string) (*shard, error) {
+	pol, err := opts.Policy.internal()
+	if err != nil {
+		return nil, err
+	}
+	var store disk.BlockStore
+	resume := false
+	if dir == "" {
+		if opts.newStore != nil {
+			store = opts.newStore(opts.NumDisks, opts.BlockSize)
+		} else {
+			store = disk.NewMemStore(opts.NumDisks, opts.BlockSize)
+		}
+	} else {
+		if _, err := os.Stat(filepath.Join(dir, "disk0.dat")); err == nil {
+			resume = true
+		}
+		fs, err := openFileStore(dir, opts.NumDisks, opts.BlockSize, resume)
+		if err != nil {
+			return nil, err
+		}
+		store = fs
+	}
+	var blockCache *cache.Store
+	if opts.CacheBlocks > 0 {
+		blockCache = cache.New(store, opts.BlockSize, opts.CacheBlocks)
+		store = blockCache
+	}
+	cfg := core.Config{
+		Buckets:      opts.Buckets,
+		BucketSize:   opts.BucketSize,
+		BlockPosting: int64(opts.BlockSize / longlist.PostingBytes),
+		Geometry: disk.Geometry{
+			NumDisks:      opts.NumDisks,
+			BlocksPerDisk: opts.BlocksPerDisk,
+			BlockSize:     opts.BlockSize,
+		},
+		Policy:       pol,
+		Store:        store,
+		FlushWorkers: opts.Workers,
+	}
+	s := &shard{
+		opts:    opts,
+		dir:     dir,
+		store:   store,
+		cache:   blockCache,
+		vocab:   vocab.New(),
+		pending: make(map[postings.WordID][]postings.DocID),
+	}
+	if resume {
+		s.index, err = core.Open(cfg)
+		if errors.Is(err, core.ErrNoCheckpoint) {
+			// The disk files exist but no batch was ever flushed — a shard
+			// whose every batch so far was empty. Start it fresh; any
+			// documents in its log are still recovered below.
+			s.index, err = core.New(cfg)
+		}
+		if err == nil {
+			err = s.loadVocab()
+		}
+	} else {
+		s.index, err = core.New(cfg)
+	}
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	if opts.KeepDocuments {
+		if dir == "" {
+			s.docs = docstore.NewMem()
+		} else {
+			ds, err := docstore.OpenFile(filepath.Join(dir, "docs.log"))
+			if err != nil {
+				store.Close()
+				return nil, err
+			}
+			s.docs = ds
+		}
+	}
+	if resume {
+		s.lastDoc = s.maxIndexedDoc()
+		if err := s.recoverPendingDocs(); err != nil {
+			s.close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// recoverPendingDocs re-ingests documents that reached the document store
+// after the index's last checkpoint: the doc log is written at AddDocument
+// time, so a crash between batches loses no stored document — it reappears
+// in the pending batch, ready for the next flush.
+func (s *shard) recoverPendingDocs() error {
+	w, ok := s.docs.(docstore.Walker)
+	if !ok || s.docs == nil {
+		return nil
+	}
+	indexed := s.lastDoc
+	return w.ForEach(func(id postings.DocID, text string) error {
+		if id <= indexed {
+			return nil
+		}
+		for _, word := range lexer.Tokenize(text, s.opts.Lexer) {
+			w := s.vocab.GetOrAssign(word)
+			s.pending[w] = append(s.pending[w], id)
+		}
+		s.pendingDocs++
+		if id > s.lastDoc {
+			s.lastDoc = id
+		}
+		return nil
+	})
+}
+
+// maxIndexedDoc scans the index for the largest document identifier so new
+// documents continue the sequence after a resume.
+func (s *shard) maxIndexedDoc() postings.DocID {
+	var max postings.DocID
+	s.index.Buckets().ForEachWord(func(w postings.WordID, _ int) {
+		if l := s.index.Buckets().List(w); l != nil && l.MaxDoc() > max {
+			max = l.MaxDoc()
+		}
+	})
+	for _, w := range s.index.Directory().Words() {
+		if l, err := s.index.GetList(w); err == nil && l.MaxDoc() > max {
+			max = l.MaxDoc()
+		}
+	}
+	return max
+}
+
+// addDocumentLocked tokenizes text and appends it to the shard's pending
+// batch. The engine has already assigned the identifier, routed the
+// document here, and acquired s.mu (see Engine.AddDocument for why the two
+// locks overlap).
+func (s *shard) addDocumentLocked(doc postings.DocID, text string) {
+	for _, word := range lexer.Tokenize(text, s.opts.Lexer) {
+		w := s.vocab.GetOrAssign(word)
+		s.pending[w] = append(s.pending[w], doc)
+	}
+	if s.docs != nil && s.docErr == nil {
+		s.docErr = s.docs.Put(doc, text)
+	}
+	s.pendingDocs++
+	if doc > s.lastDoc {
+		s.lastDoc = doc
+	}
+}
+
+func (s *shard) numPending() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.pendingDocs
+}
+
+// flushBatch applies the shard's pending batch to its on-disk index — the
+// paper's incremental batch update — and checkpoints. A flush with no
+// pending documents is a no-op.
+//
+// Searches are not blocked while the batch is applied: flushBatch detaches
+// the batch and publishes a snapshot of the pre-flush index under a brief
+// write lock, applies the update with no shard lock held (queries read the
+// snapshot plus the detached batch, so answers are unchanged mid-flush),
+// and retires the snapshot under a final brief write lock. Acquiring that
+// final lock drains every search still reading the snapshot; chunks the
+// batch released cannot be overwritten before the next batch's allocations
+// in any case, because they return to free space only at this batch's
+// checkpoint.
+func (s *shard) flushBatch() (BatchStats, error) {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+
+	s.mu.Lock()
+	if s.docErr != nil {
+		s.mu.Unlock()
+		return BatchStats{}, fmt.Errorf("dualindex: document store: %w", s.docErr)
+	}
+	if s.pendingDocs == 0 {
+		s.mu.Unlock()
+		return BatchStats{}, nil
+	}
+	if s.docs != nil {
+		if err := s.docs.Sync(); err != nil {
+			s.mu.Unlock()
+			return BatchStats{}, err
+		}
+	}
+	batch, batchDocs := s.pending, s.pendingDocs
+	s.pending = make(map[postings.WordID][]postings.DocID)
+	s.pendingDocs = 0
+	s.snap = s.index.Snapshot()
+	s.snapBatch = batch
+	s.mu.Unlock()
+
+	words := make([]postings.WordID, 0, len(batch))
+	for w := range batch {
+		words = append(words, w)
+	}
+	slices.Sort(words)
+	updates := make([]core.WordUpdate, 0, len(words))
+	for _, w := range words {
+		list := postings.FromDocs(batch[w])
+		updates = append(updates, core.WordUpdate{Word: w, Count: list.Len(), List: list})
+	}
+	st, err := s.index.ApplyUpdate(updates)
+
+	s.mu.Lock()
+	s.snap, s.snapBatch = nil, nil
+	if err != nil {
+		// Put the batch back so no documents are lost. Batch documents
+		// precede anything added while the flush ran, so prepending keeps
+		// every per-word list sorted.
+		for w, docs := range batch {
+			s.pending[w] = append(docs, s.pending[w]...)
+		}
+		s.pendingDocs += batchDocs
+		s.mu.Unlock()
+		return BatchStats{}, err
+	}
+	out := BatchStats{
+		Docs:      batchDocs,
+		Words:     st.Words,
+		Postings:  st.Postings,
+		Evictions: st.Evictions,
+		ReadOps:   st.ReadOps,
+		WriteOps:  st.WriteOps,
+	}
+	var vocabErr error
+	if s.dir != "" {
+		vocabErr = s.saveVocab()
+	}
+	s.mu.Unlock()
+	return out, vocabErr
+}
+
+// list returns the full current list for a word string: the on-disk (or
+// bucket) list merged with the pending batch, filtered of deleted docs.
+// While a flush is applying its batch, the on-disk part comes from the
+// flush's snapshot and the detached batch, so mid-flush answers equal the
+// pre-flush (and hence the post-flush) ones. Called under s.mu.RLock, from
+// any number of goroutines.
+func (s *shard) list(word string) (*postings.List, error) {
+	w, known := s.vocab.Lookup(word)
+	if !known {
+		return &postings.List{}, nil
+	}
+	var indexed *postings.List
+	var err error
+	isDeleted := s.index.IsDeleted
+	if s.snap != nil {
+		isDeleted = s.snap.IsDeleted
+		indexed, err = s.snap.GetList(w)
+		if err == nil {
+			if docs := s.snapBatch[w]; len(docs) > 0 {
+				indexed = postings.Union(indexed, postings.FromDocs(docs).Filter(isDeleted))
+			}
+		}
+	} else {
+		indexed, err = s.index.GetList(w)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if docs := s.pending[w]; len(docs) > 0 {
+		indexed = postings.Union(indexed, postings.FromDocs(docs).Filter(isDeleted))
+	}
+	return indexed, nil
+}
+
+// shardSource adapts a shard to the query package's Source interface.
+type shardSource struct{ s *shard }
+
+func (src shardSource) List(word string) (*postings.List, error) { return src.s.list(word) }
+
+// WordsWithPrefix enumerates the shard's vocabulary through its B-tree
+// dictionary, enabling truncation queries.
+func (src shardSource) WordsWithPrefix(prefix string) []string {
+	return src.s.vocab.WordsWithPrefix(prefix)
+}
+
+// searchBoolean evaluates a parsed boolean expression against this shard and
+// returns its matching documents in ascending order.
+func (s *shard) searchBoolean(expr query.Expr) ([]DocID, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	src, err := query.PrefetchExpr(expr, shardSource{s}, s.opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	l, err := query.EvalBoolean(expr, src)
+	if err != nil {
+		return nil, err
+	}
+	return l.Docs(), nil
+}
+
+// searchVector ranks this shard's documents against the query and returns
+// its local top k. totalDocs is the engine-wide collection size, so the idf
+// numerator is global; document frequencies are shard-local (the standard
+// distributed-retrieval approximation — exact for a single shard).
+func (s *shard) searchVector(vq query.VectorQuery, totalDocs, k int) ([]Match, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	src, err := query.PrefetchVector(vq, shardSource{s}, s.opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return query.EvalVector(vq, src, totalDocs, k)
+}
+
+// delete marks a document deleted. It waits for any running flush on this
+// shard to finish.
+func (s *shard) delete(doc postings.DocID) {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.index.Delete(doc)
+}
+
+// sweep physically reclaims the postings of deleted documents from the
+// shard's index and, when documents are kept, compacts them out of its
+// document store.
+func (s *shard) sweep() error {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	deleted := make(map[postings.DocID]bool)
+	if c, ok := s.docs.(docstore.Compactor); ok {
+		// Snapshot the filter before the index sweep clears it.
+		for d := postings.DocID(1); d <= s.lastDoc; d++ {
+			if s.index.IsDeleted(d) {
+				deleted[d] = true
+			}
+		}
+		if err := s.index.Sweep(); err != nil {
+			return err
+		}
+		if len(deleted) == 0 {
+			return nil
+		}
+		return c.Compact(func(d postings.DocID) bool { return !deleted[d] })
+	}
+	return s.index.Sweep()
+}
+
+// readCost reports how many disk reads a query for word would need on this
+// shard (1 chunk = 1 read; bucket words are in memory).
+func (s *shard) readCost(word string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	w, ok := s.vocab.Lookup(word)
+	if !ok {
+		return 0
+	}
+	if s.snap != nil {
+		return s.snap.ReadCost(w)
+	}
+	return s.index.ReadCost(w)
+}
+
+// bucketLoadFactor reports how full this shard's short-list bucket space is.
+func (s *shard) bucketLoadFactor() float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.snap != nil {
+		b := s.snap.Buckets()
+		capacity := float64(b.NumBuckets()) * float64(b.BucketSize())
+		if capacity == 0 {
+			return 0
+		}
+		return float64(b.TotalLoad()) / capacity
+	}
+	return s.index.BucketLoadFactor()
+}
+
+// rebalanceBuckets moves every short list of this shard into a new bucket
+// space of the given geometry and checkpoints the result.
+func (s *shard) rebalanceBuckets(buckets, bucketSize int) error {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.index.RebalanceBuckets(buckets, bucketSize)
+}
+
+// checkConsistency verifies the shard index's structural invariants.
+func (s *shard) checkConsistency() error {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.index.CheckConsistency()
+}
+
+// document returns the stored text of a document owned by this shard.
+func (s *shard) document(id postings.DocID) (text string, ok bool, err error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.docs == nil {
+		return "", false, fmt.Errorf("dualindex: Options.KeepDocuments not enabled")
+	}
+	if s.index.IsDeleted(id) {
+		return "", false, nil
+	}
+	return s.docs.Get(id)
+}
+
+// verifyCandidates intersects the shard's inverted lists of words (the
+// index-level prune) and keeps the candidates whose stored text satisfies
+// check — the positional query layer's per-shard half.
+func (s *shard) verifyCandidates(words []string, check func([]lexer.Token) bool) ([]DocID, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.docs == nil {
+		return nil, fmt.Errorf("dualindex: positional queries need Options.KeepDocuments")
+	}
+	var candidates *postings.List
+	for _, w := range words {
+		l, err := s.list(w)
+		if err != nil {
+			return nil, err
+		}
+		if candidates == nil {
+			candidates = l
+		} else {
+			candidates = postings.Intersect(candidates, l)
+		}
+		if candidates.Len() == 0 {
+			return nil, nil
+		}
+	}
+	var out []DocID
+	for _, d := range candidates.Docs() {
+		text, ok, err := s.docs.Get(d)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("dualindex: indexed document %d missing from the document store", d)
+		}
+		if check(lexer.TokenizePositions(text, s.opts.Lexer)) {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// close releases the shard's resources, persisting the vocabulary first for
+// on-disk shards.
+func (s *shard) close() error {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	if s.dir != "" {
+		first = s.saveVocab()
+	}
+	if s.docs != nil {
+		if err := s.docs.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := s.store.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}

@@ -1,0 +1,666 @@
+package dualindex
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+	"testing"
+
+	"dualindex/internal/core"
+	"dualindex/internal/disk"
+	"dualindex/internal/lexer"
+	"dualindex/internal/longlist"
+	"dualindex/internal/postings"
+	"dualindex/internal/vocab"
+)
+
+// smallOpts is a geometry small enough that a ~100-document corpus exercises
+// bucket evictions, multi-chunk long lists and in-place updates.
+func smallOpts(shards int) Options {
+	return Options{
+		Shards:        shards,
+		Buckets:       16,
+		BucketSize:    32,
+		NumDisks:      2,
+		BlocksPerDisk: 2048,
+		BlockSize:     64, // 8 postings per block
+	}
+}
+
+// synthWord names synthetic vocabulary entry i. Purely alphabetic: the
+// lexer would split an alphanumeric name into a letter-run and a digit-run.
+func synthWord(i int) string {
+	return fmt.Sprintf("w%c%c", rune('a'+i/26), rune('a'+i%26))
+}
+
+// synthTexts generates a deterministic corpus over a skewed vocabulary
+// ("waa", "wab", …), so the same seed always yields the same documents.
+func synthTexts(seed int64, n, vocabSize, wordsPerDoc int) []string {
+	r := rand.New(rand.NewSource(seed))
+	texts := make([]string, n)
+	for i := range texts {
+		var sb strings.Builder
+		for j := 0; j < wordsPerDoc; j++ {
+			// Nested Intn skews low word ids frequent, like real text.
+			sb.WriteString(synthWord(r.Intn(r.Intn(vocabSize) + 1)))
+			sb.WriteByte(' ')
+		}
+		texts[i] = sb.String()
+	}
+	return texts
+}
+
+// TestSingleShardTraceMatchesCore is the sharding refactor's regression
+// gate: a Shards=1 engine must produce byte-for-byte the simulated I/O trace
+// and the statistics of the pre-refactor monolithic engine. The reference is
+// that engine's exact update sequence — tokenize, assign word ids, buffer,
+// sort the batch's words, apply — driven by hand against a bare core.Index.
+func TestSingleShardTraceMatchesCore(t *testing.T) {
+	opts := smallOpts(1)
+	opts.Workers = 1 // serial flush and fetch on both sides
+	eng, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	pol, err := PolicyBalanced.internal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := core.New(core.Config{
+		Buckets:      opts.Buckets,
+		BucketSize:   opts.BucketSize,
+		BlockPosting: int64(opts.BlockSize / longlist.PostingBytes),
+		Geometry: disk.Geometry{
+			NumDisks:      opts.NumDisks,
+			BlocksPerDisk: opts.BlocksPerDisk,
+			BlockSize:     opts.BlockSize,
+		},
+		Policy:       pol,
+		Store:        disk.NewMemStore(opts.NumDisks, opts.BlockSize),
+		FlushWorkers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v := vocab.New()
+	pending := map[postings.WordID][]postings.DocID{}
+	var next postings.DocID
+	refAdd := func(text string) {
+		next++
+		for _, word := range lexer.Tokenize(text, lexer.Options{}) {
+			w := v.GetOrAssign(word)
+			pending[w] = append(pending[w], next)
+		}
+	}
+	refFlush := func() {
+		words := make([]postings.WordID, 0, len(pending))
+		for w := range pending {
+			words = append(words, w)
+		}
+		slices.Sort(words)
+		updates := make([]core.WordUpdate, 0, len(words))
+		for _, w := range words {
+			list := postings.FromDocs(pending[w])
+			updates = append(updates, core.WordUpdate{Word: w, Count: list.Len(), List: list})
+		}
+		if _, err := ref.ApplyUpdate(updates); err != nil {
+			t.Fatalf("reference flush: %v", err)
+		}
+		pending = map[postings.WordID][]postings.DocID{}
+	}
+	refQuery := func(word string) {
+		if w, ok := v.Lookup(word); ok {
+			if _, err := ref.GetList(w); err != nil {
+				t.Fatalf("reference query %q: %v", word, err)
+			}
+		}
+	}
+
+	texts := synthTexts(7, 150, 40, 30)
+	queries := []string{synthWord(0), synthWord(1), synthWord(7), synthWord(23)}
+	for i, text := range texts {
+		eng.AddDocument(text)
+		refAdd(text)
+		if (i+1)%30 == 0 {
+			if _, err := eng.FlushBatch(); err != nil {
+				t.Fatal(err)
+			}
+			refFlush()
+			for _, q := range queries {
+				if _, err := eng.SearchBoolean(q); err != nil {
+					t.Fatal(err)
+				}
+				refQuery(q)
+			}
+		}
+	}
+
+	engOps := eng.shards[0].index.Array().Trace().Ops()
+	refOps := ref.Array().Trace().Ops()
+	if len(engOps) != len(refOps) {
+		t.Fatalf("trace length: engine %d ops, reference %d ops", len(engOps), len(refOps))
+	}
+	for i := range engOps {
+		if engOps[i] != refOps[i] {
+			t.Fatalf("trace op %d: engine %+v, reference %+v", i, engOps[i], refOps[i])
+		}
+	}
+
+	st := eng.Stats()
+	if st.Docs != int64(next) {
+		t.Errorf("Docs = %d, want %d", st.Docs, next)
+	}
+	if st.Words != v.Len() {
+		t.Errorf("Words = %d, want %d", st.Words, v.Len())
+	}
+	if st.Batches != ref.Batches() {
+		t.Errorf("Batches = %d, want %d", st.Batches, ref.Batches())
+	}
+	if st.LongLists != ref.Directory().NumWords() {
+		t.Errorf("LongLists = %d, want %d", st.LongLists, ref.Directory().NumWords())
+	}
+	if st.BucketWords != ref.Buckets().TotalWords() {
+		t.Errorf("BucketWords = %d, want %d", st.BucketWords, ref.Buckets().TotalWords())
+	}
+	if st.Utilization != ref.Directory().Utilization() {
+		t.Errorf("Utilization = %v, want %v", st.Utilization, ref.Directory().Utilization())
+	}
+	if st.AvgReadsPerList != ref.Directory().AvgReadsPerList() {
+		t.Errorf("AvgReadsPerList = %v, want %v", st.AvgReadsPerList, ref.Directory().AvgReadsPerList())
+	}
+	if st.ReadOps != ref.Array().ReadOps() || st.WriteOps != ref.Array().WriteOps() {
+		t.Errorf("ops = %d/%d, want %d/%d", st.ReadOps, st.WriteOps, ref.Array().ReadOps(), ref.Array().WriteOps())
+	}
+	if st.LongLists == 0 {
+		t.Error("corpus produced no long lists; the trace comparison is vacuous")
+	}
+}
+
+// TestShardedMatchesUnsharded feeds the same corpus to a 1-shard and a
+// 4-shard engine and checks that query answers agree: boolean results are
+// identical, vector results cover the same documents.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	one, err := Open(smallOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer one.Close()
+	four, err := Open(smallOpts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer four.Close()
+
+	texts := synthTexts(13, 120, 40, 25)
+	for i, text := range texts {
+		d1 := one.AddDocument(text)
+		d4 := four.AddDocument(text)
+		if d1 != d4 {
+			t.Fatalf("doc %d: ids diverge (%d vs %d)", i, d1, d4)
+		}
+		if (i+1)%40 == 0 {
+			if _, err := one.FlushBatch(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := four.FlushBatch(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if got, want := four.Stats().Docs, one.Stats().Docs; got != want {
+		t.Fatalf("Docs = %d, want %d", got, want)
+	}
+
+	queries := []string{
+		"wab",
+		"wac and waf",
+		"wad or war",
+		"wab and not wae",
+		"(waa or wab) and wac",
+		"wa*",
+		"w* and not waa",
+		"zebra",
+	}
+	hits := 0
+	for _, q := range queries {
+		a, err := one.SearchBoolean(q)
+		if err != nil {
+			t.Fatalf("%q on 1 shard: %v", q, err)
+		}
+		b, err := four.SearchBoolean(q)
+		if err != nil {
+			t.Fatalf("%q on 4 shards: %v", q, err)
+		}
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Errorf("%q: 1 shard %v, 4 shards %v", q, a, b)
+		}
+		hits += len(a)
+	}
+	if hits == 0 {
+		t.Fatal("every query came back empty; the comparison is vacuous")
+	}
+
+	// Vector ranking: with k covering the whole collection, both engines
+	// must score exactly the documents containing at least one query word
+	// (scores may differ — sharded idf uses shard-local frequencies).
+	a, err := one.SearchVector("waa wad waj", len(texts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := four.SearchVector("waa wad waj", len(texts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	docSet := func(ms []Match) string {
+		ds := make([]DocID, len(ms))
+		for i, m := range ms {
+			ds[i] = m.Doc
+		}
+		slices.Sort(ds)
+		return fmt.Sprint(ds)
+	}
+	if docSet(a) != docSet(b) {
+		t.Errorf("vector doc sets differ:\n1 shard:  %s\n4 shards: %s", docSet(a), docSet(b))
+	}
+}
+
+// TestShardedCrashReopen is the sharded crash/reopen test: build a 3-shard
+// persistent engine, flush, delete, flush again, record query answers and
+// stats, close, reopen — every answer must be byte-identical.
+func TestShardedCrashReopen(t *testing.T) {
+	dir := t.TempDir()
+	opts := smallOpts(3)
+	opts.Dir = dir
+	opts.KeepDocuments = true
+	eng, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	texts := synthTexts(29, 60, 30, 20)
+	var ids []DocID
+	for i, text := range texts {
+		if i%10 == 5 {
+			text += " needle"
+		}
+		ids = append(ids, eng.AddDocument(text))
+	}
+	if _, err := eng.FlushBatch(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Delete two documents, one of them a needle holder, then make sure
+	// every shard has something pending so the next flush checkpoints the
+	// deletions on all three shards (a shard with an empty batch skips its
+	// flush, and deletions persist only at a checkpoint).
+	eng.Delete(ids[5])
+	eng.Delete(ids[12])
+	extra := synthTexts(31, 12, 30, 20)
+	for i := 0; ; i++ {
+		empty := false
+		for _, s := range eng.shards {
+			if s.numPending() == 0 {
+				empty = true
+			}
+		}
+		if !empty {
+			break
+		}
+		if i >= len(extra) {
+			t.Fatal("could not seed every shard with a pending document")
+		}
+		eng.AddDocument(extra[i])
+	}
+	if _, err := eng.FlushBatch(); err != nil {
+		t.Fatal(err)
+	}
+
+	type snapshot struct {
+		boolean, compound, needle, vectorDocs, doc string
+		scores                                     []float64
+		docsN                                      int64
+		words, batches, long, bucket, deleted      int
+		util                                       float64
+	}
+	capture := func(e *Engine) snapshot {
+		var sn snapshot
+		res, err := e.SearchBoolean("wab")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sn.boolean = fmt.Sprint(res)
+		res, err = e.SearchBoolean("wac or (wad and not wae)")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sn.compound = fmt.Sprint(res)
+		res, err = e.SearchBoolean("needle")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sn.needle = fmt.Sprint(res)
+		ms, err := e.SearchVector("waa wab needle", 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var vdocs []DocID
+		for _, m := range ms {
+			vdocs = append(vdocs, m.Doc)
+			sn.scores = append(sn.scores, m.Score)
+		}
+		sn.vectorDocs = fmt.Sprint(vdocs)
+		text, ok, err := e.Document(ids[15])
+		if err != nil || !ok {
+			t.Fatalf("Document(%d): ok=%v err=%v", ids[15], ok, err)
+		}
+		sn.doc = text
+		st := e.Stats()
+		sn.docsN, sn.words, sn.batches = st.Docs, st.Words, st.Batches
+		sn.long, sn.bucket, sn.deleted = st.LongLists, st.BucketWords, st.Deleted
+		sn.util = st.Utilization
+		return sn
+	}
+
+	before := capture(eng)
+	needleDocs, err := eng.SearchBoolean("needle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slices.Contains(needleDocs, ids[5]) {
+		t.Fatalf("deleted doc %d still in needle results %v", ids[5], needleDocs)
+	}
+	if before.deleted != 2 {
+		t.Fatalf("Deleted = %d, want 2", before.deleted)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The sharded on-disk layout: one subdirectory per shard, no flat files.
+	for i := 0; i < 3; i++ {
+		p := filepath.Join(dir, fmt.Sprintf("shard-%d", i), "disk0.dat")
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("missing %s: %v", p, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "disk0.dat")); err == nil {
+		t.Fatal("sharded engine left a flat disk0.dat under Dir")
+	}
+
+	re, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if err := re.CheckConsistency(); err != nil {
+		t.Fatalf("consistency after reopen: %v", err)
+	}
+	after := capture(re)
+	// Vector scores sum per-word contributions in map iteration order, so
+	// they are only reproducible to floating-point rounding; everything else
+	// must be byte-identical.
+	if len(before.scores) != len(after.scores) {
+		t.Fatalf("reopen changed vector result count: %d vs %d", len(before.scores), len(after.scores))
+	}
+	for i := range before.scores {
+		if diff := before.scores[i] - after.scores[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("vector score %d changed: %v vs %v", i, before.scores[i], after.scores[i])
+		}
+	}
+	before.scores, after.scores = nil, nil
+	if fmt.Sprintf("%+v", before) != fmt.Sprintf("%+v", after) {
+		t.Fatalf("reopen changed answers:\nbefore %+v\nafter  %+v", before, after)
+	}
+}
+
+// TestShardedPendingRecovery checks that unflushed documents of a sharded
+// persistent engine are recovered from the per-shard document logs.
+func TestShardedPendingRecovery(t *testing.T) {
+	dir := t.TempDir()
+	opts := smallOpts(2)
+	opts.Dir = dir
+	opts.KeepDocuments = true
+	eng, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The lexer splits letter-runs from digit-runs, so unique marker words
+	// must be purely alphabetic.
+	uniq := func(i int) string { return "uniq" + string(rune('a'+i)) }
+	for i := 0; i < 10; i++ {
+		eng.AddDocument("flushed filler " + uniq(i))
+	}
+	if _, err := eng.FlushBatch(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < 15; i++ {
+		eng.AddDocument("unflushed filler " + uniq(i))
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.PendingDocs(); got != 5 {
+		t.Fatalf("PendingDocs after reopen = %d, want 5", got)
+	}
+	docs, err := re.SearchBoolean(uniq(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 1 || docs[0] != 13 {
+		t.Fatalf("recovered doc search = %v, want [13]", docs)
+	}
+	if next := re.AddDocument("fresh"); next != 16 {
+		t.Fatalf("AddDocument after reopen = %d, want 16", next)
+	}
+	if _, err := re.FlushBatch(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlushBatchAggregatesShards pins satellite semantics: the BatchStats a
+// sharded flush returns are the sums over every shard's batch, verified
+// against each shard's own update history.
+func TestFlushBatchAggregatesShards(t *testing.T) {
+	eng, err := Open(smallOpts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	texts := synthTexts(17, 40, 30, 20)
+	perShard := make([]int, 4)
+	for i, text := range texts {
+		doc := eng.AddDocument(text)
+		perShard[shardIndex(doc, 4)]++
+		_ = i
+	}
+	st, err := eng.FlushBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Docs != len(texts) {
+		t.Errorf("Docs = %d, want %d", st.Docs, len(texts))
+	}
+
+	var want BatchStats
+	busy := 0
+	for i, s := range eng.shards {
+		hist := s.index.UpdateHistory()
+		if len(hist) == 0 {
+			if perShard[i] != 0 {
+				t.Errorf("shard %d got %d docs but recorded no update", i, perShard[i])
+			}
+			continue
+		}
+		busy++
+		last := hist[len(hist)-1]
+		want.Docs += perShard[i]
+		want.Words += last.Words
+		want.Postings += last.Postings
+		want.Evictions += last.Evictions
+		want.ReadOps += last.ReadOps
+		want.WriteOps += last.WriteOps
+	}
+	if busy < 2 {
+		t.Fatalf("only %d shards received documents; aggregation untested", busy)
+	}
+	if st != want {
+		t.Errorf("FlushBatch stats = %+v, want per-shard sums %+v", st, want)
+	}
+	if st.Postings == 0 || st.WriteOps == 0 {
+		t.Errorf("degenerate batch stats %+v", st)
+	}
+}
+
+// TestShardRouterStable pins the routing function: deterministic, total, and
+// not grossly unbalanced.
+func TestShardRouterStable(t *testing.T) {
+	for doc := DocID(1); doc <= 100; doc++ {
+		if shardIndex(doc, 1) != 0 {
+			t.Fatalf("single shard routing for doc %d", doc)
+		}
+	}
+	counts := make([]int, 4)
+	for doc := DocID(1); doc <= 400; doc++ {
+		i := shardIndex(doc, 4)
+		if i != shardIndex(doc, 4) {
+			t.Fatalf("unstable routing for doc %d", doc)
+		}
+		if i < 0 || i >= 4 {
+			t.Fatalf("doc %d routed to shard %d", doc, i)
+		}
+		counts[i]++
+	}
+	for i, c := range counts {
+		if c < 40 {
+			t.Errorf("shard %d got only %d of 400 docs: %v", i, c, counts)
+		}
+	}
+}
+
+// TestShardLayoutMismatch: an index must be reopened with the shard count it
+// was built with — the routing depends on it.
+func TestShardLayoutMismatch(t *testing.T) {
+	if _, err := Open(Options{Shards: -1}); err == nil {
+		t.Fatal("negative shard count accepted")
+	}
+
+	dir := t.TempDir()
+	opts := smallOpts(2)
+	opts.Dir = dir
+	eng, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.AddDocument("some words to index")
+	if _, err := eng.FlushBatch(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{1, 3} {
+		bad := opts
+		bad.Shards = shards
+		if _, err := Open(bad); err == nil {
+			t.Errorf("2-shard index reopened with Shards=%d", shards)
+		}
+	}
+	re, err := Open(opts)
+	if err != nil {
+		t.Fatalf("matching reopen: %v", err)
+	}
+	re.Close()
+
+	flatDir := t.TempDir()
+	fopts := smallOpts(1)
+	fopts.Dir = flatDir
+	feng, err := Open(fopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feng.AddDocument("flat layout")
+	if _, err := feng.FlushBatch(); err != nil {
+		t.Fatal(err)
+	}
+	feng.Close()
+	fopts.Shards = 4
+	if _, err := Open(fopts); err == nil {
+		t.Error("flat single-shard index reopened with Shards=4")
+	}
+}
+
+// TestPositionalSharded runs the candidate-verification queries across
+// shards and checks them against the unsharded answers.
+func TestPositionalSharded(t *testing.T) {
+	mk := func(shards int) *Engine {
+		opts := smallOpts(shards)
+		opts.KeepDocuments = true
+		e, err := Open(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	one, three := mk(1), mk(3)
+	defer one.Close()
+	defer three.Close()
+
+	corpus := []string{
+		"the quick brown fox jumps over the lazy dog",
+		"a brown dog and a quick fox",
+		"quick brown foxes are rare",
+		"the fox was quick and brown",
+		"lazy brown fox naps",
+		"quick silver brown bear",
+		"dogs chase the quick brown fox daily",
+		"nothing relevant here at all",
+	}
+	for _, text := range corpus {
+		one.AddDocument(text)
+		three.AddDocument(text)
+	}
+	if _, err := one.FlushBatch(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := three.FlushBatch(); err != nil {
+		t.Fatal(err)
+	}
+
+	pa, err := one.SearchPhrase("quick brown fox")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := three.SearchPhrase("quick brown fox")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(pa) != fmt.Sprint(pb) || len(pa) == 0 {
+		t.Errorf("phrase: 1 shard %v, 3 shards %v", pa, pb)
+	}
+
+	na, err := one.SearchNear("fox", "dog", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := three.SearchNear("fox", "dog", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(na) != fmt.Sprint(nb) || len(na) == 0 {
+		t.Errorf("near: 1 shard %v, 3 shards %v", na, nb)
+	}
+}

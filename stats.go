@@ -1,0 +1,145 @@
+package dualindex
+
+// BatchStats summarises one flushed batch. For a sharded engine the fields
+// are sums over every shard's batch of the same flush.
+type BatchStats struct {
+	Docs      int
+	Words     int
+	Postings  int64
+	Evictions int
+	ReadOps   int64
+	WriteOps  int64
+}
+
+// add returns the field-wise sum of two batch summaries — how FlushBatch
+// aggregates the per-shard batches into one answer.
+func (b BatchStats) add(o BatchStats) BatchStats {
+	b.Docs += o.Docs
+	b.Words += o.Words
+	b.Postings += o.Postings
+	b.Evictions += o.Evictions
+	b.ReadOps += o.ReadOps
+	b.WriteOps += o.WriteOps
+	return b
+}
+
+// Stats describes the engine's index state. For a sharded engine the counts
+// (words, long lists, bucket words, I/O and cache counters, deletions) are
+// summed across shards — a word indexed by several shards counts once per
+// shard, since each shard keeps its own vocabulary — while Utilization and
+// AvgReadsPerList are means over long lists and Batches is the largest
+// per-shard batch count (shards whose pending batch was empty skip a
+// flush). A single-shard engine reports exactly the unsharded numbers.
+type Stats struct {
+	Docs            int64
+	Words           int
+	Batches         int
+	LongLists       int
+	BucketWords     int
+	Utilization     float64
+	AvgReadsPerList float64
+	ReadOps         int64
+	WriteOps        int64
+	Deleted         int
+	// Block-cache counters (all zero unless Options.CacheBlocks > 0).
+	// Counted per block: a three-block read with one resident block scores
+	// one hit and two misses.
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
+	CacheHitRate   float64
+}
+
+// stats reports one shard's statistics (every field but Docs, which only
+// the engine knows). During a flush, the structural numbers come from the
+// flush's snapshot (pre-flush state); the I/O and cache counters are always
+// live.
+func (s *shard) stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{
+		Words:    s.vocab.Len(),
+		ReadOps:  s.index.Array().ReadOps(),
+		WriteOps: s.index.Array().WriteOps(),
+	}
+	if s.snap != nil {
+		st.Batches = s.snap.Batches()
+		st.LongLists = s.snap.Directory().NumWords()
+		st.BucketWords = s.snap.Buckets().TotalWords()
+		st.Utilization = s.snap.Directory().Utilization()
+		st.AvgReadsPerList = s.snap.Directory().AvgReadsPerList()
+		st.Deleted = s.snap.DeletedCount()
+	} else {
+		st.Batches = s.index.Batches()
+		st.LongLists = s.index.Directory().NumWords()
+		st.BucketWords = s.index.Buckets().TotalWords()
+		st.Utilization = s.index.Directory().Utilization()
+		st.AvgReadsPerList = s.index.Directory().AvgReadsPerList()
+		st.Deleted = s.index.DeletedCount()
+	}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		st.CacheHits = cs.Hits
+		st.CacheMisses = cs.Misses
+		st.CacheEvictions = cs.Evictions
+		st.CacheHitRate = cs.HitRate()
+	}
+	return st
+}
+
+// Stats reports current index statistics, aggregated over the shards.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	docs := int64(e.nextDoc)
+	e.mu.Unlock()
+	if len(e.shards) == 1 {
+		// Exactly the single shard's numbers — no aggregation arithmetic, so
+		// the unsharded engine's Stats are reproduced bit for bit.
+		st := e.shards[0].stats()
+		st.Docs = docs
+		return st
+	}
+	st := Stats{Docs: docs}
+	var utilWeighted, readsWeighted float64
+	for _, s := range e.shards {
+		ss := s.stats()
+		st.Words += ss.Words
+		if ss.Batches > st.Batches {
+			st.Batches = ss.Batches
+		}
+		st.LongLists += ss.LongLists
+		st.BucketWords += ss.BucketWords
+		st.ReadOps += ss.ReadOps
+		st.WriteOps += ss.WriteOps
+		st.Deleted += ss.Deleted
+		st.CacheHits += ss.CacheHits
+		st.CacheMisses += ss.CacheMisses
+		st.CacheEvictions += ss.CacheEvictions
+		utilWeighted += ss.Utilization * float64(ss.LongLists)
+		readsWeighted += ss.AvgReadsPerList * float64(ss.LongLists)
+	}
+	if st.LongLists > 0 {
+		st.Utilization = utilWeighted / float64(st.LongLists)
+		st.AvgReadsPerList = readsWeighted / float64(st.LongLists)
+	}
+	if total := st.CacheHits + st.CacheMisses; total > 0 {
+		st.CacheHitRate = float64(st.CacheHits) / float64(total)
+	}
+	return st
+}
+
+// BucketLoadFactor reports how full the short-list bucket space is; when it
+// approaches 1.0, frequent evictions degrade the short/long division and a
+// RebalanceBuckets call is warranted (the paper's §7 maintenance strategy).
+// Every shard's bucket space has the same capacity, so the sharded figure
+// is the mean of the per-shard load factors.
+func (e *Engine) BucketLoadFactor() float64 {
+	if len(e.shards) == 1 {
+		return e.shards[0].bucketLoadFactor()
+	}
+	var sum float64
+	for _, s := range e.shards {
+		sum += s.bucketLoadFactor()
+	}
+	return sum / float64(len(e.shards))
+}
