@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the gate a change must pass.
 
-.PHONY: check build test race bench bench-shard
+.PHONY: check build test race bench bench-shard bench-observe
 
 check:
 	./scripts/check.sh
@@ -22,3 +22,9 @@ bench:
 # shards, written to BENCH_shard.json.
 bench-shard:
 	go test -run '^TestShardBenchReport$$' -count=1 -v .
+
+# Observability overhead: flush and query time with instrumentation off vs
+# fully on (metrics + tracing + slow-query log), written to
+# BENCH_observe.json. Target: enabled flush within 5% of disabled.
+bench-observe:
+	go test -run '^TestObserveBenchReport$$' -count=1 -v .

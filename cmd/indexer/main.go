@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"path/filepath"
 	"slices"
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"dualindex"
+	"dualindex/internal/obshttp"
 )
 
 func main() {
@@ -34,11 +36,29 @@ func main() {
 		bsize     = flag.Int("bucketsize", 8192, "bucket size in word+posting units")
 		shards    = flag.Int("shards", 1, "index shards (must match on reopen)")
 		check     = flag.Bool("check", true, "run the consistency check after the build")
+		metrics   = flag.String("metrics", "", "serve /metrics, /stats, /trace and /debug/pprof on this address (e.g. localhost:6060); enables instrumentation")
 	)
 	flag.Parse()
-	if err := run(*corpusDir, *indexDir, *policy, *buckets, *bsize, *shards, *check); err != nil {
+	if err := run(*corpusDir, *indexDir, *policy, *buckets, *bsize, *shards, *check, *metrics); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// serveObs starts the observability endpoint for eng on addr, in the
+// background; build failures surface on the log only, since a broken metrics
+// listener should not kill a running build.
+func serveObs(eng *dualindex.Engine, addr string) {
+	h := obshttp.New(obshttp.Config{
+		Registry:    eng.Metrics(),
+		Stats:       func() any { return eng.Stats() },
+		Tracer:      eng.Tracer(),
+		SlowQueries: func() any { return eng.SlowQueries() },
+	})
+	go func() {
+		if err := http.ListenAndServe(addr, h); err != nil {
+			log.Printf("metrics endpoint: %v", err)
+		}
+	}()
 }
 
 func policyByName(name string) (dualindex.Policy, error) {
@@ -55,7 +75,7 @@ func policyByName(name string) (dualindex.Policy, error) {
 	return dualindex.Policy{}, fmt.Errorf("unknown policy %q", name)
 }
 
-func run(corpusDir, indexDir, policyName string, buckets, bucketSize, shards int, check bool) error {
+func run(corpusDir, indexDir, policyName string, buckets, bucketSize, shards int, check bool, metricsAddr string) error {
 	pol, err := policyByName(policyName)
 	if err != nil {
 		return err
@@ -69,17 +89,25 @@ func run(corpusDir, indexDir, policyName string, buckets, bucketSize, shards int
 	}
 	slices.Sort(days)
 
-	eng, err := dualindex.Open(dualindex.Options{
+	opts := dualindex.Options{
 		Dir:        indexDir,
 		Shards:     shards,
 		Policy:     &pol,
 		Buckets:    buckets,
 		BucketSize: bucketSize,
-	})
+	}
+	if metricsAddr != "" {
+		opts.Metrics = true
+		opts.TraceBuffer = 4096
+	}
+	eng, err := dualindex.Open(opts)
 	if err != nil {
 		return err
 	}
 	defer eng.Close()
+	if metricsAddr != "" {
+		serveObs(eng, metricsAddr)
+	}
 
 	// Resume: skip the batches already applied.
 	done := eng.Stats().Batches

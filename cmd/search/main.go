@@ -12,11 +12,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"dualindex"
+	"dualindex/internal/obshttp"
 )
 
 func main() {
@@ -30,18 +32,39 @@ func main() {
 		near     = flag.Int("near", 0, "proximity window: treat the two query words as 'w1 within N words of w2'")
 		docs     = flag.Bool("docs", false, "keep/load stored documents (enables -phrase and -near)")
 		shards   = flag.Int("shards", 1, "index shards (must match the build)")
+		metrics  = flag.String("metrics", "", "serve /metrics, /stats, /trace and /debug/pprof on this address (e.g. localhost:6060); enables instrumentation")
+		slow     = flag.Duration("slow", 0, "log queries slower than this duration (view on the -metrics endpoint's /slow)")
 	)
 	flag.Parse()
 
-	eng, err := dualindex.Open(dualindex.Options{
+	opts := dualindex.Options{
 		Dir:           *indexDir,
 		Shards:        *shards,
 		KeepDocuments: *docs || *phrase || *near > 0,
-	})
+		SlowQuery:     *slow,
+	}
+	if *metrics != "" {
+		opts.Metrics = true
+		opts.TraceBuffer = 4096
+	}
+	eng, err := dualindex.Open(opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer eng.Close()
+	if *metrics != "" {
+		h := obshttp.New(obshttp.Config{
+			Registry:    eng.Metrics(),
+			Stats:       func() any { return eng.Stats() },
+			Tracer:      eng.Tracer(),
+			SlowQueries: func() any { return eng.SlowQueries() },
+		})
+		go func() {
+			if err := http.ListenAndServe(*metrics, h); err != nil {
+				log.Printf("metrics endpoint: %v", err)
+			}
+		}()
+	}
 
 	if flag.NArg() > 0 {
 		q := strings.Join(flag.Args(), " ")

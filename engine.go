@@ -44,6 +44,7 @@ import (
 type Engine struct {
 	opts   Options
 	shards []*shard
+	obs    *observer // nil unless Options enables observability (see observe.go)
 
 	mu      sync.Mutex // guards nextDoc
 	nextDoc postings.DocID

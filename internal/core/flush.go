@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"slices"
+	"time"
 
 	"dualindex/internal/disk"
 	"dualindex/internal/postings"
@@ -14,12 +15,23 @@ import (
 // deleted-document list are written, a superblock recording their locations
 // is written so the build can restart, the previous images are returned to
 // free space, and the RELEASE list of the long-list manager is drained.
-func (ix *Index) flush() error {
+//
+// st, when non-nil, receives the wall-clock durations of the flush's three
+// phases (bucket write, checkpoint, release) — the per-phase numbers the
+// observability layer exports. Maintenance flushes (Sweep, rebalance) pass
+// nil.
+func (ix *Index) flush(st *UpdateStats) error {
+	if st == nil {
+		st = &UpdateStats{}
+	}
 	oldBuckets, oldDir, oldDel := ix.bucketRegion, ix.dirRegion, ix.delRegion
 
+	bucketStart := time.Now()
 	if err := ix.flushBuckets(); err != nil {
 		return err
 	}
+	st.BucketFlushDur = time.Since(bucketStart)
+	checkpointStart := time.Now()
 	if err := ix.flushDirectory(); err != nil {
 		return err
 	}
@@ -29,6 +41,8 @@ func (ix *Index) flush() error {
 	if err := ix.writeSuperblock(); err != nil {
 		return err
 	}
+	st.CheckpointDur = time.Since(checkpointStart)
+	releaseStart := time.Now()
 	// "At this time, the disk blocks for the previous buckets and directory
 	// are returned to free space."
 	for _, r := range oldBuckets {
@@ -48,6 +62,7 @@ func (ix *Index) flush() error {
 		return err
 	}
 	ix.array.EndBatch()
+	st.ReleaseDur = time.Since(releaseStart)
 	return nil
 }
 

@@ -10,6 +10,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"dualindex/internal/bucket"
 	"dualindex/internal/corpus"
@@ -108,6 +109,15 @@ type UpdateStats struct {
 	Utilization     float64
 	AvgReadsPerList float64
 	LongLists       int
+	// Wall-clock phase durations of this update — where the batch spent
+	// its time. Always recorded (a handful of clock reads per batch, never
+	// per word); the engine's observability layer turns them into
+	// histograms and trace spans.
+	PlanDur        time.Duration // per-word apply: allocation, directory and bucket bookkeeping, trace recording
+	LongApplyDur   time.Duration // deferred long-list data movement (parallel flush only; 0 when serial, where the movement is inside PlanDur)
+	BucketFlushDur time.Duration // striped write of the bucket region
+	CheckpointDur  time.Duration // directory + deleted list + superblock writes
+	ReleaseDur     time.Duration // freeing previous images, RELEASE drain, store sync
 }
 
 // Fractions reports the Figure 7 per-update fractions of new, bucket and
@@ -220,6 +230,7 @@ func UpdatesFromBatch(b *corpus.Batch, withPostings bool) []WordUpdate {
 func (ix *Index) ApplyUpdate(updates []WordUpdate) (UpdateStats, error) {
 	st := UpdateStats{Batch: ix.batches, Words: len(updates)}
 	r0, w0 := ix.array.ReadOps(), ix.array.WriteOps()
+	planStart := time.Now()
 	var plan *flushPlan
 	if ix.parallelFlush() {
 		// Plan/execute split: the word loop below stays single-threaded and
@@ -262,13 +273,16 @@ func (ix *Index) ApplyUpdate(updates []WordUpdate) (UpdateStats, error) {
 			}
 		}
 	}
+	st.PlanDur = time.Since(planStart)
 	if plan != nil {
 		ix.long.SetSink(nil)
+		applyStart := time.Now()
 		if err := plan.run(); err != nil {
 			return st, err
 		}
+		st.LongApplyDur = time.Since(applyStart)
 	}
-	if err := ix.flush(); err != nil {
+	if err := ix.flush(&st); err != nil {
 		return st, err
 	}
 	ix.batches++

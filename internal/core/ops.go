@@ -148,5 +148,5 @@ func (ix *Index) Sweep() error {
 		return sweepErr
 	}
 	ix.deleted = make(map[postings.DocID]bool)
-	return ix.flush()
+	return ix.flush(nil)
 }

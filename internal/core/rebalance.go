@@ -65,5 +65,5 @@ func (ix *Index) RebalanceBuckets(numBuckets, bucketSize int) error {
 	ix.buckets = fresh
 	ix.cfg.Buckets = numBuckets
 	ix.cfg.BucketSize = bucketSize
-	return ix.flush()
+	return ix.flush(nil)
 }

@@ -67,6 +67,18 @@ type Array struct {
 	trace                   *Trace
 	readOps, writeOps       int64
 	readBlocks, writeBlocks int64
+	perDisk                 []DiskOps // per-disk slices of the counters above
+}
+
+// DiskOps are one disk's cumulative operation and block counters — the
+// per-spindle breakdown of the paper's I/O accounting, which the aggregate
+// counters above hide. A flush that stripes evenly shows near-equal rows;
+// a hot long list shows up as one disk running ahead of its peers.
+type DiskOps struct {
+	ReadOps     int64
+	WriteOps    int64
+	ReadBlocks  int64
+	WriteBlocks int64
 }
 
 // NewArray creates an array for the geometry with the paper's first-fit
@@ -81,7 +93,13 @@ func NewArrayWith(geo Geometry, store BlockStore, newAlloc func(total int64) All
 	if err := geo.Validate(); err != nil {
 		return nil, err
 	}
-	a := &Array{geo: geo, trace: &Trace{}, store: store, freeMu: make([]sync.Mutex, geo.NumDisks)}
+	a := &Array{
+		geo:     geo,
+		trace:   &Trace{},
+		store:   store,
+		freeMu:  make([]sync.Mutex, geo.NumDisks),
+		perDisk: make([]DiskOps, geo.NumDisks),
+	}
 	for i := 0; i < geo.NumDisks; i++ {
 		a.free = append(a.free, newAlloc(geo.BlocksPerDisk))
 	}
@@ -180,6 +198,22 @@ func (a *Array) ReadBlocks() int64 {
 	return a.readBlocks
 }
 
+// PerDiskOps reports each disk's cumulative operation and block counters.
+func (a *Array) PerDiskOps() []DiskOps {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]DiskOps, len(a.perDisk))
+	copy(out, a.perDisk)
+	return out
+}
+
+// DiskOpCounts reports one disk's cumulative counters.
+func (a *Array) DiskOpCounts(disk int) DiskOps {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.perDisk[disk]
+}
+
 // WriteBlocks reports cumulative blocks written.
 func (a *Array) WriteBlocks() int64 {
 	a.mu.Lock()
@@ -206,6 +240,8 @@ func (a *Array) RecordRead(disk int, block, count int64, tag string) {
 	a.trace.Append(Op{Kind: Read, Disk: disk, Block: block, Count: count, Tag: tag})
 	a.readOps++
 	a.readBlocks += count
+	a.perDisk[disk].ReadOps++
+	a.perDisk[disk].ReadBlocks += count
 	a.mu.Unlock()
 }
 
@@ -217,6 +253,8 @@ func (a *Array) RecordWrite(disk int, block, count int64, tag string) {
 	a.trace.Append(Op{Kind: Write, Disk: disk, Block: block, Count: count, Tag: tag})
 	a.writeOps++
 	a.writeBlocks += count
+	a.perDisk[disk].WriteOps++
+	a.perDisk[disk].WriteBlocks += count
 	a.mu.Unlock()
 }
 

@@ -1,0 +1,105 @@
+// Package obshttp serves an engine's observability surface over HTTP: the
+// metrics registry as Prometheus text on /metrics and as JSON on
+// /metrics.json, caller-supplied statistics as JSON on /stats, the span
+// recorder as JSONL on /trace, the slow-query log as JSON on /slow, and the
+// standard runtime profiles under /debug/pprof/. Endpoints whose feature is
+// disabled answer 404, so one handler fits any Options combination.
+//
+// The handler is read-only and unauthenticated — bind it to localhost or a
+// private interface, as with net/http/pprof itself.
+package obshttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+
+	"dualindex/internal/metrics"
+	"dualindex/internal/trace"
+)
+
+// Config says what to expose. Nil fields disable their endpoints.
+type Config struct {
+	// Registry backs /metrics (Prometheus text exposition format 0.0.4)
+	// and /metrics.json (the registry's Snapshot).
+	Registry *metrics.Registry
+	// Stats backs /stats; called per request, encoded as JSON. Wire it to
+	// Engine.Stats.
+	Stats func() any
+	// Tracer backs /trace: the recorder's buffered spans, oldest first,
+	// one JSON object per line.
+	Tracer *trace.Recorder
+	// SlowQueries backs /slow; called per request, encoded as JSON. Wire
+	// it to Engine.SlowQueries.
+	SlowQueries func() any
+}
+
+// New builds the handler for cfg.
+func New(cfg Config) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Registry == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		cfg.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Registry == nil {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, cfg.Registry.Snapshot())
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Stats == nil {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, cfg.Stats())
+	})
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.SlowQueries == nil {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, cfg.SlowQueries())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Tracer == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, ev := range cfg.Tracer.Events() {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+		}
+	})
+	// The standard profile endpoints, on this mux rather than
+	// http.DefaultServeMux so an importing program's global mux stays clean.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "dualindex observability: /metrics /metrics.json /stats /slow /trace /debug/pprof/\n")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -39,6 +39,67 @@ func TestMergeDocLists(t *testing.T) {
 	}
 }
 
+// TestMergeDocListsEdgeCases pins the boundary behaviour the engine's
+// fan-out relies on: duplicates spanning several shards collapse to one,
+// empty shard answers mixed in are harmless, and a merge that reduces to a
+// single non-empty list is a passthrough — the input slice itself, no copy.
+func TestMergeDocListsEdgeCases(t *testing.T) {
+	// The same document in every list, plus duplicates across non-adjacent
+	// lists, must appear once.
+	got := MergeDocLists([][]postings.DocID{
+		docIDs(2, 4, 8),
+		docIDs(2, 6),
+		docIDs(2, 4, 10),
+	})
+	if want := docIDs(2, 4, 6, 8, 10); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("cross-shard duplicates: %v, want %v", got, want)
+	}
+
+	// Empty answers surround the real ones — shards that hold none of the
+	// matching documents are the common case.
+	got = MergeDocLists([][]postings.DocID{nil, docIDs(5, 9), {}, docIDs(1), nil})
+	if want := docIDs(1, 5, 9); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("empty answers mixed in: %v, want %v", got, want)
+	}
+
+	// One non-empty list among empties: the fast path returns it as is
+	// (same backing array), so single-shard queries never copy.
+	in := docIDs(3, 1<<20, 1<<30)
+	got = MergeDocLists([][]postings.DocID{nil, in, {}})
+	if len(got) != len(in) || &got[0] != &in[0] {
+		t.Errorf("single-list merge is not a passthrough: got %v (copied: %v)",
+			got, len(got) > 0 && &got[0] != &in[0])
+	}
+}
+
+// TestMergeMatchesEdgeCases does the same for the vector merge: identical
+// (doc, score) pairs across groups dedupe, empty groups are skipped, and a
+// single surviving group is truncated in place.
+func TestMergeMatchesEdgeCases(t *testing.T) {
+	// The same scored document from two groups collapses to one entry.
+	g1 := []Match{{Doc: 1, Score: 9}, {Doc: 5, Score: 4}}
+	g2 := []Match{{Doc: 1, Score: 9}, {Doc: 7, Score: 2}}
+	got := MergeMatches([][]Match{g1, g2}, 10)
+	want := []Match{{Doc: 1, Score: 9}, {Doc: 5, Score: 4}, {Doc: 7, Score: 2}}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("duplicate (doc,score) across groups: %v, want %v", got, want)
+	}
+
+	// Empty groups around one real group: passthrough, same backing array.
+	in := []Match{{Doc: 2, Score: 8}, {Doc: 3, Score: 1}}
+	got = MergeMatches([][]Match{nil, {}, in}, 5)
+	if len(got) != len(in) || &got[0] != &in[0] {
+		t.Errorf("single-group merge is not a passthrough: %v", got)
+	}
+	// ... and truncation still applies on that path.
+	if got = MergeMatches([][]Match{nil, in}, 1); len(got) != 1 || got[0].Doc != 2 {
+		t.Errorf("single-group truncation: %v", got)
+	}
+	if got = MergeMatches([][]Match{nil, {}}, 3); got != nil {
+		t.Errorf("all-empty merge: %v, want nil", got)
+	}
+}
+
 func TestMergeDocListsRandomAgainstSort(t *testing.T) {
 	r := rand.New(rand.NewSource(11))
 	for trial := 0; trial < 50; trial++ {

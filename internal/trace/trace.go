@@ -1,0 +1,180 @@
+// Package trace records structured span events from the engine's hot paths
+// — one event per flush phase, query phase, or maintenance action — into a
+// fixed-capacity ring buffer, optionally teeing every event to a JSONL
+// sink. The ring answers "what did the last N operations spend their time
+// on" without unbounded memory; the sink turns a run into a replayable
+// per-phase latency log, the measurement style of the dynamic-indexing
+// literature (per-batch, per-phase distributions rather than end-of-run
+// aggregates).
+//
+// Like the metrics package, everything is nil-safe: Start on a nil
+// *Recorder returns an inert Span whose End is free and reads no clock, so
+// disabled tracing costs one nil check on the hot path.
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one recorded span: something named, in some scope (typically
+// "engine" or "shard-3"), that started at Start and took Dur. Detail is
+// free-form ("docs=120 postings=4813", a slow query's text).
+type Event struct {
+	Seq    uint64        `json:"seq"`
+	Start  time.Time     `json:"start"`
+	Dur    time.Duration `json:"dur_ns"`
+	Scope  string        `json:"scope"`
+	Name   string        `json:"name"`
+	Detail string        `json:"detail,omitempty"`
+}
+
+// Recorder keeps the most recent events in a ring buffer and optionally
+// writes each one to a JSONL sink. Safe for concurrent use.
+type Recorder struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int // ring write position
+	n       int // events currently held (≤ len(buf))
+	seq     uint64
+	sink    io.Writer
+	sinkErr error
+}
+
+// New creates a recorder holding the most recent capacity events
+// (minimum 1).
+func New(capacity int) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Recorder{buf: make([]Event, capacity)}
+}
+
+// SetSink tees every subsequently recorded event to w as one JSON line.
+// The first write error stops the teeing and is reported by SinkErr. A nil
+// w detaches the sink. No-op on a nil recorder.
+func (r *Recorder) SetSink(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sink = w
+	r.sinkErr = nil
+}
+
+// SinkErr reports the first error the JSONL sink returned, if any.
+func (r *Recorder) SinkErr() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sinkErr
+}
+
+// Record appends one event, assigning its sequence number. No-op on a nil
+// recorder.
+//
+// The sink write happens under the recorder's mutex: io.Writers are not
+// concurrency-safe in general, and serializing here also keeps the sink's
+// line order identical to the ring's sequence order. A sink that blocks
+// therefore stalls tracing — hand Record a fast writer and let it buffer.
+func (r *Recorder) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	ev.Seq = r.seq
+	r.buf[r.next] = ev
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	if r.sink == nil || r.sinkErr != nil {
+		return
+	}
+	line, err := json.Marshal(ev)
+	if err == nil {
+		line = append(line, '\n')
+		_, err = r.sink.Write(line)
+	}
+	if err != nil {
+		r.sinkErr = err
+	}
+}
+
+// Events returns the retained events, oldest first. Nil recorder → nil.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Seq reports how many events have ever been recorded (including ones the
+// ring has since overwritten).
+func (r *Recorder) Seq() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// Span is an in-flight measurement created by Start. The zero Span (and
+// any Span from a nil recorder) is inert.
+type Span struct {
+	r     *Recorder
+	scope string
+	name  string
+	start time.Time
+}
+
+// Start begins a span. On a nil recorder it returns an inert span without
+// reading the clock.
+func (r *Recorder) Start(scope, name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{r: r, scope: scope, name: name, start: time.Now()}
+}
+
+// End records the span with the given detail. No-op on an inert span.
+func (sp Span) End(detail string) {
+	if sp.r == nil {
+		return
+	}
+	sp.r.Record(Event{
+		Start:  sp.start,
+		Dur:    time.Since(sp.start),
+		Scope:  sp.scope,
+		Name:   sp.name,
+		Detail: detail,
+	})
+}
+
+// RecordAt records an already-measured span — the shape used when a lower
+// layer (the core flush) measured its phases itself and the caller is
+// publishing them. No-op on a nil recorder.
+func (r *Recorder) RecordAt(scope, name, detail string, start time.Time, dur time.Duration) {
+	if r == nil {
+		return
+	}
+	r.Record(Event{Start: start, Dur: dur, Scope: scope, Name: name, Detail: detail})
+}

@@ -1,0 +1,345 @@
+package dualindex
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dualindex/internal/core"
+	"dualindex/internal/metrics"
+	"dualindex/internal/trace"
+)
+
+// This file is the engine's observability layer: it wires the hot paths —
+// per-shard flush phases, per-query phases, cache and per-disk I/O — into
+// the metrics registry (Options.Metrics), the span recorder
+// (Options.TraceBuffer) and the slow-query log (Options.SlowQuery).
+//
+// The design constraint is that instrumentation must be free when disabled
+// and cheap when enabled: a disabled engine carries a nil *observer and nil
+// per-shard handles, and every method here is a no-op on a nil receiver —
+// no clock reads, no allocation, one predictable branch. Enabled, the hot
+// paths touch preallocated handles only (atomic adds and a ring append);
+// the registry's maps are consulted once, at Open. Nothing here touches
+// the disk array, so the simulated I/O traces pinned by
+// TestSingleShardTraceMatchesCore are byte-identical with metrics on.
+
+// slowLogSize is the capacity of the slow-query ring.
+const slowLogSize = 128
+
+// SlowQueryRecord is one entry of the slow-query log: a query whose total
+// latency exceeded Options.SlowQuery.
+type SlowQueryRecord struct {
+	Time    time.Time     `json:"time"`
+	Kind    string        `json:"kind"` // "boolean" or "vector"
+	Query   string        `json:"query"`
+	Dur     time.Duration `json:"dur_ns"`
+	Results int           `json:"results"`
+}
+
+// observer is the engine-level half of the instrumentation: the registry,
+// the span recorder, the engine-wide query metrics and the slow-query ring.
+type observer struct {
+	reg *metrics.Registry // nil unless Options.Metrics
+	rec *trace.Recorder   // nil unless Options.TraceBuffer > 0
+
+	slowThreshold time.Duration
+	slowTotal     *metrics.Counter
+
+	queryRoute *metrics.Histogram            // parse + fan-out planning
+	queryMerge *metrics.Histogram            // k-way merge of shard answers
+	queryTotal map[string]*metrics.Histogram // kind → end-to-end latency
+	queryCount map[string]*metrics.Counter   // kind → queries served
+
+	slowMu   sync.Mutex
+	slow     []SlowQueryRecord // ring, capacity slowLogSize
+	slowNext int
+}
+
+// newObserver builds the observer an Options set asks for, or nil when
+// every observability feature is off.
+func newObserver(opts Options) *observer {
+	if !opts.Metrics && opts.SlowQuery <= 0 && opts.TraceBuffer <= 0 {
+		return nil
+	}
+	o := &observer{slowThreshold: opts.SlowQuery}
+	if opts.Metrics {
+		o.reg = metrics.NewRegistry("dualindex")
+	}
+	if opts.TraceBuffer > 0 {
+		o.rec = trace.New(opts.TraceBuffer)
+		if opts.TraceSink != nil {
+			o.rec.SetSink(opts.TraceSink)
+		}
+	}
+	// With reg nil these come back nil and every Observe is a no-op — the
+	// trace/slow-log features still work without the registry.
+	o.queryRoute = o.reg.Histogram(`query_phase_seconds{phase="route"}`, nil)
+	o.queryMerge = o.reg.Histogram(`query_phase_seconds{phase="merge"}`, nil)
+	o.queryTotal = map[string]*metrics.Histogram{
+		"boolean": o.reg.Histogram(`query_seconds{kind="boolean"}`, nil),
+		"vector":  o.reg.Histogram(`query_seconds{kind="vector"}`, nil),
+	}
+	o.queryCount = map[string]*metrics.Counter{
+		"boolean": o.reg.Counter(`queries_total{kind="boolean"}`),
+		"vector":  o.reg.Counter(`queries_total{kind="vector"}`),
+	}
+	o.slowTotal = o.reg.Counter("slow_queries_total")
+	return o
+}
+
+// flushPhaseNames are the five flush phases, in execution order, matching
+// the core.UpdateStats duration fields.
+var flushPhaseNames = [5]string{"plan", "long_apply", "bucket_flush", "checkpoint", "release"}
+
+// shardObs holds one shard's preallocated metric handles, so recording on
+// the flush and query paths never goes through the registry's maps.
+type shardObs struct {
+	o     *observer
+	scope string // "shard-<i>"
+
+	flushTotal *metrics.Histogram
+	flushPhase [5]*metrics.Histogram // indexed like flushPhaseNames
+	flushes    *metrics.Counter
+	flushDocs  *metrics.Counter
+	flushPosts *metrics.Counter
+	flushEvict *metrics.Counter
+
+	queryFetch *metrics.Histogram
+	queryScore *metrics.Histogram
+}
+
+// shardObs builds shard i's handle set; nil on a nil observer.
+func (o *observer) shardObs(i int) *shardObs {
+	if o == nil {
+		return nil
+	}
+	shard := fmt.Sprintf("%d", i)
+	so := &shardObs{
+		o:          o,
+		scope:      "shard-" + shard,
+		flushTotal: o.reg.Histogram(`flush_seconds{shard="`+shard+`"}`, nil),
+		flushes:    o.reg.Counter(`flushes_total{shard="` + shard + `"}`),
+		flushDocs:  o.reg.Counter(`flush_docs_total{shard="` + shard + `"}`),
+		flushPosts: o.reg.Counter(`flush_postings_total{shard="` + shard + `"}`),
+		flushEvict: o.reg.Counter(`flush_evictions_total{shard="` + shard + `"}`),
+		queryFetch: o.reg.Histogram(`query_phase_seconds{phase="fetch",shard="`+shard+`"}`, nil),
+		queryScore: o.reg.Histogram(`query_phase_seconds{phase="score",shard="`+shard+`"}`, nil),
+	}
+	for p, name := range flushPhaseNames {
+		so.flushPhase[p] = o.reg.Histogram(
+			fmt.Sprintf(`flush_phase_seconds{phase=%q,shard=%q}`, name, shard), nil)
+	}
+	return so
+}
+
+// now reads the clock only when this shard is instrumented; the zero time
+// it otherwise returns makes every downstream observe call a no-op.
+func (so *shardObs) now() time.Time {
+	if so == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// observeFlush records one applied batch: the five phase durations from the
+// core's UpdateStats, the end-to-end flush latency, and the batch counters.
+// Each phase also becomes one trace span (back-dated from the phase
+// durations, so spans abut the way the phases ran).
+func (so *shardObs) observeFlush(start time.Time, st core.UpdateStats, docs int) {
+	if so == nil {
+		return
+	}
+	total := time.Since(start)
+	so.flushTotal.ObserveDuration(total)
+	durs := [5]time.Duration{st.PlanDur, st.LongApplyDur, st.BucketFlushDur, st.CheckpointDur, st.ReleaseDur}
+	for p, d := range durs {
+		so.flushPhase[p].ObserveDuration(d)
+	}
+	so.flushes.Inc()
+	so.flushDocs.Add(int64(docs))
+	so.flushPosts.Add(st.Postings)
+	so.flushEvict.Add(int64(st.Evictions))
+	if so.o.rec != nil {
+		at := start
+		for p, d := range durs {
+			so.o.rec.RecordAt(so.scope, "flush."+flushPhaseNames[p], "", at, d)
+			at = at.Add(d)
+		}
+		so.o.rec.RecordAt(so.scope, "flush", fmt.Sprintf(
+			"docs=%d words=%d postings=%d evictions=%d r=%d w=%d",
+			docs, st.Words, st.Postings, st.Evictions, st.ReadOps, st.WriteOps),
+			start, total)
+	}
+}
+
+// observeFetch records the query fetch phase (term-list prefetch) begun at
+// t0 and starts the score phase, returning its start time.
+func (so *shardObs) observeFetch(t0 time.Time) time.Time {
+	if so == nil {
+		return time.Time{}
+	}
+	now := time.Now()
+	d := now.Sub(t0)
+	so.queryFetch.ObserveDuration(d)
+	so.o.rec.RecordAt(so.scope, "query.fetch", "", t0, d)
+	return now
+}
+
+// observeScore records the query score phase (boolean evaluation or vector
+// ranking) begun at t0.
+func (so *shardObs) observeScore(t0 time.Time) {
+	if so == nil {
+		return
+	}
+	d := time.Since(t0)
+	so.queryScore.ObserveDuration(d)
+	so.o.rec.RecordAt(so.scope, "query.score", "", t0, d)
+}
+
+// queryObs measures one engine-level query: route → (per-shard work) →
+// merge, then the total with slow-query bookkeeping. The zero queryObs —
+// what a disabled engine gets — is inert.
+type queryObs struct {
+	o        *observer
+	t0, last time.Time
+}
+
+// beginQuery starts measuring a query; inert on a nil observer.
+func (o *observer) beginQuery() queryObs {
+	if o == nil {
+		return queryObs{}
+	}
+	now := time.Now()
+	return queryObs{o: o, t0: now, last: now}
+}
+
+// routeDone marks the end of the route phase (parse + fan-out planning).
+func (q *queryObs) routeDone() {
+	if q.o == nil {
+		return
+	}
+	now := time.Now()
+	d := now.Sub(q.last)
+	q.o.queryRoute.ObserveDuration(d)
+	q.o.rec.RecordAt("engine", "query.route", "", q.last, d)
+	q.last = now
+}
+
+// mergeStart marks the start of the merge phase (the fan-out in between is
+// covered by the per-shard fetch/score spans).
+func (q *queryObs) mergeStart() {
+	if q.o == nil {
+		return
+	}
+	q.last = time.Now()
+}
+
+// finish records the merge phase and the end-to-end query, counting it and
+// feeding the slow-query log when the total crosses the threshold.
+func (q *queryObs) finish(kind, text string, results int) {
+	if q.o == nil {
+		return
+	}
+	now := time.Now()
+	mergeDur := now.Sub(q.last)
+	q.o.queryMerge.ObserveDuration(mergeDur)
+	q.o.rec.RecordAt("engine", "query.merge", "", q.last, mergeDur)
+	total := now.Sub(q.t0)
+	q.o.queryTotal[kind].ObserveDuration(total)
+	q.o.queryCount[kind].Inc()
+	q.o.rec.RecordAt("engine", "query", fmt.Sprintf("kind=%s results=%d", kind, results), q.t0, total)
+	if q.o.slowThreshold > 0 && total >= q.o.slowThreshold {
+		q.o.recordSlow(SlowQueryRecord{
+			Time: q.t0, Kind: kind, Query: text, Dur: total, Results: results,
+		})
+	}
+}
+
+// recordSlow appends to the slow-query ring and emits the slow-query
+// signals (counter, span).
+func (o *observer) recordSlow(r SlowQueryRecord) {
+	o.slowTotal.Inc()
+	o.rec.RecordAt("engine", "query.slow", fmt.Sprintf("kind=%s query=%q", r.Kind, r.Query), r.Time, r.Dur)
+	o.slowMu.Lock()
+	if len(o.slow) < slowLogSize {
+		o.slow = append(o.slow, r)
+	} else {
+		o.slow[o.slowNext] = r
+		o.slowNext = (o.slowNext + 1) % slowLogSize
+	}
+	o.slowMu.Unlock()
+}
+
+// slowQueries returns the logged slow queries, oldest first.
+func (o *observer) slowQueries() []SlowQueryRecord {
+	if o == nil {
+		return nil
+	}
+	o.slowMu.Lock()
+	defer o.slowMu.Unlock()
+	out := make([]SlowQueryRecord, 0, len(o.slow))
+	out = append(out, o.slow[o.slowNext:]...)
+	out = append(out, o.slow[:o.slowNext]...)
+	return out
+}
+
+// Metrics returns the engine's metrics registry, or nil when
+// Options.Metrics is off. The registry is live: scraping it (see
+// internal/obshttp) reads the current counters.
+func (e *Engine) Metrics() *metrics.Registry {
+	if e.obs == nil {
+		return nil
+	}
+	return e.obs.reg
+}
+
+// Tracer returns the engine's span recorder, or nil when
+// Options.TraceBuffer is 0.
+func (e *Engine) Tracer() *trace.Recorder {
+	if e.obs == nil {
+		return nil
+	}
+	return e.obs.rec
+}
+
+// SlowQueries returns the slow-query log, oldest first: every query whose
+// end-to-end latency met Options.SlowQuery, up to the last 128.
+func (e *Engine) SlowQueries() []SlowQueryRecord {
+	return e.obs.slowQueries()
+}
+
+// registerShardFuncs exports the per-shard scrape-time gauges — cache
+// counters, per-disk I/O counters, bucket load and pending documents —
+// into the registry. Called once from Open, after the shards exist.
+func (e *Engine) registerShardFuncs() {
+	reg := e.Metrics()
+	if reg == nil {
+		return
+	}
+	for i, s := range e.shards {
+		s := s
+		shard := fmt.Sprintf("%d", i)
+		reg.RegisterFunc(`pending_docs{shard="`+shard+`"}`,
+			func() float64 { return float64(s.numPending()) })
+		reg.RegisterFunc(`bucket_load_factor{shard="`+shard+`"}`,
+			func() float64 { return s.bucketLoadFactor() })
+		if s.cache != nil {
+			reg.RegisterFunc(`cache_hits_total{shard="`+shard+`"}`,
+				func() float64 { return float64(s.cache.Stats().Hits) })
+			reg.RegisterFunc(`cache_misses_total{shard="`+shard+`"}`,
+				func() float64 { return float64(s.cache.Stats().Misses) })
+			reg.RegisterFunc(`cache_evictions_total{shard="`+shard+`"}`,
+				func() float64 { return float64(s.cache.Stats().Evictions) })
+		}
+		array := s.index.Array()
+		for d := 0; d < array.Geometry().NumDisks; d++ {
+			d := d
+			labels := fmt.Sprintf(`{shard=%q,disk="%d"}`, shard, d)
+			reg.RegisterFunc(`disk_read_ops_total`+labels,
+				func() float64 { return float64(array.DiskOpCounts(d).ReadOps) })
+			reg.RegisterFunc(`disk_write_ops_total`+labels,
+				func() float64 { return float64(array.DiskOpCounts(d).WriteOps) })
+		}
+	}
+}

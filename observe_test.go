@@ -1,0 +1,310 @@
+package dualindex
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"dualindex/internal/trace"
+)
+
+// observeOpts is smallOpts with every observability feature on: metrics,
+// span recording, a nanosecond slow-query threshold (every query logs) and a
+// small block cache so the cache gauges have something to report.
+func observeOpts(shards int) Options {
+	opts := smallOpts(shards)
+	opts.CacheBlocks = 8
+	opts.Metrics = true
+	opts.TraceBuffer = 512
+	opts.SlowQuery = 1
+	return opts
+}
+
+// TestObservabilityEndToEnd drives an instrumented engine through flushes
+// and queries and checks every signal arrives: flush and query metrics,
+// scrape-time gauges, trace spans (ring and JSONL sink) and the slow-query
+// log.
+func TestObservabilityEndToEnd(t *testing.T) {
+	var sink bytes.Buffer
+	opts := observeOpts(1)
+	opts.TraceSink = &sink
+	eng, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	for _, text := range synthTexts(29, 60, 30, 20) {
+		eng.AddDocument(text)
+	}
+	if _, err := eng.FlushBatch(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.SearchBoolean(synthWord(0) + " or " + synthWord(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.SearchVector(synthWord(0)+" "+synthWord(2), 5); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := eng.Metrics()
+	if reg == nil {
+		t.Fatal("Metrics() = nil with Options.Metrics set")
+	}
+	if got := reg.Counter(`flushes_total{shard="0"}`).Value(); got != 1 {
+		t.Errorf("flushes_total = %d, want 1", got)
+	}
+	if got := reg.Counter(`flush_docs_total{shard="0"}`).Value(); got != 60 {
+		t.Errorf("flush_docs_total = %d, want 60", got)
+	}
+	if got := reg.Counter(`queries_total{kind="boolean"}`).Value(); got != 1 {
+		t.Errorf("queries_total{boolean} = %d, want 1", got)
+	}
+	if got := reg.Counter(`queries_total{kind="vector"}`).Value(); got != 1 {
+		t.Errorf("queries_total{vector} = %d, want 1", got)
+	}
+	if got := reg.Counter("slow_queries_total").Value(); got != 2 {
+		t.Errorf("slow_queries_total = %d, want 2", got)
+	}
+	for _, name := range []string{
+		`flush_seconds{shard="0"}`,
+		`flush_phase_seconds{phase="plan",shard="0"}`,
+		`flush_phase_seconds{phase="bucket_flush",shard="0"}`,
+		`flush_phase_seconds{phase="checkpoint",shard="0"}`,
+		`flush_phase_seconds{phase="release",shard="0"}`,
+		`query_phase_seconds{phase="route"}`,
+		`query_phase_seconds{phase="merge"}`,
+		`query_phase_seconds{phase="fetch",shard="0"}`,
+		`query_phase_seconds{phase="score",shard="0"}`,
+		`query_seconds{kind="boolean"}`,
+	} {
+		if snap := reg.Histogram(name, nil).Snapshot(); snap.Count == 0 {
+			t.Errorf("histogram %s recorded nothing", name)
+		}
+	}
+
+	// Scrape-time gauges: pending docs, bucket load, cache and per-disk I/O.
+	gauges := reg.Snapshot()["gauges"].(map[string]float64)
+	for _, name := range []string{
+		`pending_docs{shard="0"}`,
+		`bucket_load_factor{shard="0"}`,
+		`cache_hits_total{shard="0"}`,
+		`disk_read_ops_total{shard="0",disk="0"}`,
+		`disk_write_ops_total{shard="0",disk="1"}`,
+	} {
+		if _, ok := gauges[name]; !ok {
+			t.Errorf("scrape gauge %s not registered", name)
+		}
+	}
+	if v := gauges[`disk_write_ops_total{shard="0",disk="0"}`]; v == 0 {
+		t.Error("disk 0 write ops gauge = 0 after a flush")
+	}
+
+	// Prometheus exposition: namespaced series with merged labels.
+	var prom bytes.Buffer
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	text := prom.String()
+	for _, want := range []string{
+		`dualindex_flushes_total{shard="0"} 1`,
+		`dualindex_queries_total{kind="boolean"} 1`,
+		`# TYPE dualindex_flush_phase_seconds histogram`,
+		`dualindex_flush_seconds_bucket{shard="0",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Prometheus output missing %q", want)
+		}
+	}
+
+	// Trace spans: flush phases under the shard scope, query phases under
+	// the engine scope, all mirrored to the JSONL sink.
+	events := eng.Tracer().Events()
+	if len(events) == 0 {
+		t.Fatal("no trace events recorded")
+	}
+	seen := map[string]bool{}
+	for _, ev := range events {
+		seen[ev.Scope+"/"+ev.Name] = true
+	}
+	for _, want := range []string{
+		"shard-0/flush.plan", "shard-0/flush.bucket_flush", "shard-0/flush",
+		"engine/query.route", "engine/query.merge", "engine/query",
+		"shard-0/query.fetch", "shard-0/query.score", "engine/query.slow",
+	} {
+		if !seen[want] {
+			t.Errorf("trace missing span %s", want)
+		}
+	}
+	dec := json.NewDecoder(&sink)
+	sunk := 0
+	for dec.More() {
+		var ev trace.Event
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatalf("sink line %d: %v", sunk, err)
+		}
+		sunk++
+	}
+	if sunk < len(events) {
+		t.Errorf("sink holds %d events, ring %d", sunk, len(events))
+	}
+
+	// Slow-query log: with a 1ns threshold both queries qualify.
+	slow := eng.SlowQueries()
+	if len(slow) != 2 {
+		t.Fatalf("SlowQueries len = %d, want 2", len(slow))
+	}
+	if slow[0].Kind != "boolean" || slow[1].Kind != "vector" {
+		t.Errorf("slow-query kinds = %s, %s", slow[0].Kind, slow[1].Kind)
+	}
+	if !strings.Contains(slow[0].Query, synthWord(0)) || slow[0].Dur <= 0 {
+		t.Errorf("slow-query record %+v malformed", slow[0])
+	}
+}
+
+// TestObservabilityDisabled pins the disabled path: a default engine carries
+// no observer, the accessors return nil/empty, and everything still works.
+func TestObservabilityDisabled(t *testing.T) {
+	eng, err := Open(smallOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if eng.obs != nil {
+		t.Error("observer allocated with observability off")
+	}
+	if eng.Metrics() != nil || eng.Tracer() != nil {
+		t.Error("Metrics/Tracer non-nil with observability off")
+	}
+	for _, text := range synthTexts(31, 20, 20, 10) {
+		eng.AddDocument(text)
+	}
+	if _, err := eng.FlushBatch(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.SearchBoolean(synthWord(0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.SlowQueries(); len(got) != 0 {
+		t.Errorf("SlowQueries = %v, want empty", got)
+	}
+}
+
+// TestBatchStatsPhases checks FlushBatch reports where the flush spent its
+// time: every batch's phase durations sum to a positive total, with the
+// always-run phases (plan, bucket flush, checkpoint, release) non-negative
+// and plan positive.
+func TestBatchStatsPhases(t *testing.T) {
+	eng, err := Open(smallOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for _, text := range synthTexts(37, 40, 30, 20) {
+		eng.AddDocument(text)
+	}
+	st, err := eng.FlushBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Phases.Total() <= 0 {
+		t.Fatalf("Phases.Total() = %v, want > 0 (phases %+v)", st.Phases.Total(), st.Phases)
+	}
+	if st.Phases.Plan <= 0 {
+		t.Errorf("Phases.Plan = %v, want > 0", st.Phases.Plan)
+	}
+	if st.Phases.LongApply < 0 || st.Phases.BucketFlush < 0 || st.Phases.Checkpoint < 0 || st.Phases.Release < 0 {
+		t.Errorf("negative phase duration: %+v", st.Phases)
+	}
+}
+
+// TestStatsAggregationSharded pins the sharded Stats derivations of this PR:
+// MaxBucketLoadFactor is the per-shard maximum (at least the mean, equal to
+// it for one shard), Utilization is the long-list-weighted mean of the
+// per-shard utilizations, and an empty engine reports clean zeros — never
+// NaN — for every ratio.
+func TestStatsAggregationSharded(t *testing.T) {
+	// Empty 4-shard engine: no long lists, no cache traffic. The weighted
+	// means divide by zero unless guarded; the guard must yield 0.
+	empty, err := Open(smallOpts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer empty.Close()
+	st := empty.Stats()
+	for name, v := range map[string]float64{
+		"Utilization":         st.Utilization,
+		"AvgReadsPerList":     st.AvgReadsPerList,
+		"CacheHitRate":        st.CacheHitRate,
+		"MaxBucketLoadFactor": st.MaxBucketLoadFactor,
+	} {
+		if math.IsNaN(v) {
+			t.Errorf("empty engine: %s is NaN", name)
+		}
+	}
+	if st.Utilization != 0 || st.AvgReadsPerList != 0 || st.CacheHitRate != 0 {
+		t.Errorf("empty engine ratios = %v/%v/%v, want zeros",
+			st.Utilization, st.AvgReadsPerList, st.CacheHitRate)
+	}
+
+	// Loaded 4-shard engine: check the aggregates against the per-shard
+	// stats they derive from.
+	eng, err := Open(smallOpts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for i, text := range synthTexts(41, 120, 40, 25) {
+		eng.AddDocument(text)
+		if (i+1)%40 == 0 {
+			if _, err := eng.FlushBatch(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st = eng.Stats()
+	var utilWeighted float64
+	longLists := 0
+	maxLoad := 0.0
+	for _, s := range eng.shards {
+		ss := s.stats()
+		utilWeighted += ss.Utilization * float64(ss.LongLists)
+		longLists += ss.LongLists
+		if ss.MaxBucketLoadFactor > maxLoad {
+			maxLoad = ss.MaxBucketLoadFactor
+		}
+	}
+	if longLists == 0 {
+		t.Fatal("corpus produced no long lists; aggregation untested")
+	}
+	if want := utilWeighted / float64(longLists); math.Abs(st.Utilization-want) > 1e-12 {
+		t.Errorf("Utilization = %v, want long-list-weighted mean %v", st.Utilization, want)
+	}
+	if st.MaxBucketLoadFactor != maxLoad {
+		t.Errorf("MaxBucketLoadFactor = %v, want per-shard max %v", st.MaxBucketLoadFactor, maxLoad)
+	}
+	if mean := eng.BucketLoadFactor(); st.MaxBucketLoadFactor < mean {
+		t.Errorf("MaxBucketLoadFactor %v < mean load factor %v", st.MaxBucketLoadFactor, mean)
+	}
+	if st.MaxBucketLoadFactor <= 0 {
+		t.Error("MaxBucketLoadFactor = 0 on a loaded engine")
+	}
+
+	// Single shard: max and mean coincide by construction.
+	one, err := Open(smallOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer one.Close()
+	for _, text := range synthTexts(43, 40, 30, 20) {
+		one.AddDocument(text)
+	}
+	if _, err := one.FlushBatch(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := one.Stats().MaxBucketLoadFactor, one.BucketLoadFactor(); got != want {
+		t.Errorf("single shard: MaxBucketLoadFactor = %v, BucketLoadFactor = %v", got, want)
+	}
+}

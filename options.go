@@ -2,6 +2,8 @@ package dualindex
 
 import (
 	"fmt"
+	"io"
+	"time"
 
 	"dualindex/internal/disk"
 	"dualindex/internal/lexer"
@@ -127,6 +129,27 @@ type Options struct {
 	// the lists of popular query words — are served from memory. Hit/miss/
 	// eviction counters appear in Stats. 0 disables caching.
 	CacheBlocks int
+
+	// Metrics enables the engine's metrics registry: per-shard flush-phase
+	// and query-phase latency histograms, flush and query counters, cache
+	// and per-disk I/O gauges — everything Engine.Metrics exposes and
+	// internal/obshttp serves as Prometheus text. Disabled, the
+	// instrumentation costs one nil check per site and allocates nothing;
+	// the simulated I/O traces are identical either way.
+	Metrics bool
+	// SlowQuery, when positive, logs every query slower than this
+	// threshold to an in-memory ring (Engine.SlowQueries) and counts it in
+	// the slow_queries_total metric. 0 disables the slow-query log.
+	SlowQuery time.Duration
+	// TraceBuffer, when positive, records structured span events — one per
+	// flush phase, query phase and slow query — into a ring of that many
+	// events, readable through Engine.Tracer. 0 disables span tracing.
+	TraceBuffer int
+	// TraceSink, when non-nil (and TraceBuffer > 0), additionally writes
+	// every span event to this writer as one JSON line — a per-phase
+	// latency log of the whole run. Writes happen inline on the recording
+	// path; hand it a buffered or asynchronous writer for hot workloads.
+	TraceSink io.Writer
 
 	// newStore overrides the in-memory block-store constructor for each
 	// shard; package benchmarks inject latency-modelled stores through it.

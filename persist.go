@@ -31,7 +31,7 @@ func Open(opts Options) (*Engine, error) {
 			return nil, err
 		}
 	}
-	e := &Engine{opts: opts}
+	e := &Engine{opts: opts, obs: newObserver(opts)}
 	for i := 0; i < opts.Shards; i++ {
 		s, err := openShard(opts, shardDir(opts.Dir, i, opts.Shards))
 		if err != nil {
@@ -40,11 +40,13 @@ func Open(opts Options) (*Engine, error) {
 			}
 			return nil, fmt.Errorf("dualindex: shard %d: %w", i, err)
 		}
+		s.obs = e.obs.shardObs(i)
 		e.shards = append(e.shards, s)
 		if s.lastDoc > e.nextDoc {
 			e.nextDoc = s.lastDoc
 		}
 	}
+	e.registerShardFuncs()
 	return e, nil
 }
 

@@ -16,5 +16,10 @@ echo '== go build ./...'
 go build ./...
 echo '== go vet ./...'
 go vet ./...
+# The observability packages are leaf packages nothing in ./... depended on
+# when they were first added; vet them by name so a stray exclusion in the
+# wildcard can never silently skip them.
+echo '== go vet (observability packages)'
+go vet ./internal/metrics/ ./internal/trace/ ./internal/obshttp/
 echo '== go test -race ./...'
 go test -race ./...

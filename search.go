@@ -16,17 +16,22 @@ type Match = query.Match
 // Options.Workers reads in flight — and the sorted per-shard answers are
 // k-way merged.
 func (e *Engine) SearchBoolean(q string) ([]DocID, error) {
+	qo := e.obs.beginQuery()
 	expr, err := query.Parse(q)
 	if err != nil {
 		return nil, err
 	}
+	qo.routeDone()
 	lists, err := fanOut(e, func(s *shard) ([]DocID, error) {
 		return s.searchBoolean(expr)
 	})
 	if err != nil {
 		return nil, err
 	}
-	return query.MergeDocLists(lists), nil
+	qo.mergeStart()
+	docs := query.MergeDocLists(lists)
+	qo.finish("boolean", q, len(docs))
+	return docs, nil
 }
 
 // SearchVector ranks documents against the words of text (a document-like
@@ -38,6 +43,7 @@ func (e *Engine) SearchBoolean(q string) ([]DocID, error) {
 // engine-wide collection size over shard-local list lengths — exact for a
 // single shard, the standard distributed-retrieval approximation otherwise.
 func (e *Engine) SearchVector(text string, k int) ([]Match, error) {
+	qo := e.obs.beginQuery()
 	words := lexer.Tokenize(text, e.opts.Lexer)
 	e.mu.Lock()
 	total := int(e.nextDoc)
@@ -46,13 +52,17 @@ func (e *Engine) SearchVector(text string, k int) ([]Match, error) {
 		total = 1
 	}
 	vq := query.FromDocument(words)
+	qo.routeDone()
 	groups, err := fanOut(e, func(s *shard) ([]Match, error) {
 		return s.searchVector(vq, total, k)
 	})
 	if err != nil {
 		return nil, err
 	}
-	return query.MergeMatches(groups, k), nil
+	qo.mergeStart()
+	matches := query.MergeMatches(groups, k)
+	qo.finish("vector", text, len(matches))
+	return matches, nil
 }
 
 // ReadCost reports how many disk reads a query for word would need — the

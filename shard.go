@@ -43,6 +43,7 @@ type shard struct {
 	vocab *vocab.Vocab
 	store disk.BlockStore
 	cache *cache.Store // non-nil iff Options.CacheBlocks > 0
+	obs   *shardObs    // nil unless the engine is instrumented (observe.go)
 
 	// flushMu serialises the whole-shard mutators: flushBatch, delete,
 	// sweep, rebalanceBuckets and close. Lock order: flushMu before mu.
@@ -243,6 +244,7 @@ func (s *shard) flushBatch() (BatchStats, error) {
 	s.flushMu.Lock()
 	defer s.flushMu.Unlock()
 
+	t0 := s.obs.now() // zero (no clock read) when uninstrumented
 	s.mu.Lock()
 	if s.docErr != nil {
 		s.mu.Unlock()
@@ -297,12 +299,20 @@ func (s *shard) flushBatch() (BatchStats, error) {
 		Evictions: st.Evictions,
 		ReadOps:   st.ReadOps,
 		WriteOps:  st.WriteOps,
+		Phases: FlushPhases{
+			Plan:        st.PlanDur,
+			LongApply:   st.LongApplyDur,
+			BucketFlush: st.BucketFlushDur,
+			Checkpoint:  st.CheckpointDur,
+			Release:     st.ReleaseDur,
+		},
 	}
 	var vocabErr error
 	if s.dir != "" {
 		vocabErr = s.saveVocab()
 	}
 	s.mu.Unlock()
+	s.obs.observeFlush(t0, st, batchDocs)
 	return out, vocabErr
 }
 
@@ -356,14 +366,17 @@ func (src shardSource) WordsWithPrefix(prefix string) []string {
 func (s *shard) searchBoolean(expr query.Expr) ([]DocID, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	t0 := s.obs.now()
 	src, err := query.PrefetchExpr(expr, shardSource{s}, s.opts.Workers)
 	if err != nil {
 		return nil, err
 	}
+	t1 := s.obs.observeFetch(t0)
 	l, err := query.EvalBoolean(expr, src)
 	if err != nil {
 		return nil, err
 	}
+	s.obs.observeScore(t1)
 	return l.Docs(), nil
 }
 
@@ -374,11 +387,18 @@ func (s *shard) searchBoolean(expr query.Expr) ([]DocID, error) {
 func (s *shard) searchVector(vq query.VectorQuery, totalDocs, k int) ([]Match, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	t0 := s.obs.now()
 	src, err := query.PrefetchVector(vq, shardSource{s}, s.opts.Workers)
 	if err != nil {
 		return nil, err
 	}
-	return query.EvalVector(vq, src, totalDocs, k)
+	t1 := s.obs.observeFetch(t0)
+	ms, err := query.EvalVector(vq, src, totalDocs, k)
+	if err != nil {
+		return nil, err
+	}
+	s.obs.observeScore(t1)
+	return ms, nil
 }
 
 // delete marks a document deleted. It waits for any running flush on this

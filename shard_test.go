@@ -61,6 +61,11 @@ func synthTexts(seed int64, n, vocabSize, wordsPerDoc int) []string {
 func TestSingleShardTraceMatchesCore(t *testing.T) {
 	opts := smallOpts(1)
 	opts.Workers = 1 // serial flush and fetch on both sides
+	// Full observability on: instrumentation must not perturb the simulated
+	// I/O trace (it never touches the disk array — see observe.go).
+	opts.Metrics = true
+	opts.TraceBuffer = 256
+	opts.SlowQuery = 1 // nanosecond threshold: every query logs
 	eng, err := Open(opts)
 	if err != nil {
 		t.Fatal(err)
@@ -512,6 +517,13 @@ func TestFlushBatchAggregatesShards(t *testing.T) {
 		want.Evictions += last.Evictions
 		want.ReadOps += last.ReadOps
 		want.WriteOps += last.WriteOps
+		want.Phases = want.Phases.add(FlushPhases{
+			Plan:        last.PlanDur,
+			LongApply:   last.LongApplyDur,
+			BucketFlush: last.BucketFlushDur,
+			Checkpoint:  last.CheckpointDur,
+			Release:     last.ReleaseDur,
+		})
 	}
 	if busy < 2 {
 		t.Fatalf("only %d shards received documents; aggregation untested", busy)

@@ -1,5 +1,36 @@
 package dualindex
 
+import "time"
+
+// FlushPhases breaks one batch flush's wall-clock time into the paper's
+// phases: the per-word apply (allocation, bucket and directory
+// bookkeeping), the deferred long-list data movement, the striped bucket
+// write, the checkpoint (directory + deleted list + superblock) and the
+// release of the previous images. For a sharded engine the durations are
+// sums over the shards' flushes — CPU-seconds of flush work, not elapsed
+// time, since shards flush concurrently.
+type FlushPhases struct {
+	Plan        time.Duration
+	LongApply   time.Duration
+	BucketFlush time.Duration
+	Checkpoint  time.Duration
+	Release     time.Duration
+}
+
+// Total sums the phase durations.
+func (p FlushPhases) Total() time.Duration {
+	return p.Plan + p.LongApply + p.BucketFlush + p.Checkpoint + p.Release
+}
+
+func (p FlushPhases) add(o FlushPhases) FlushPhases {
+	p.Plan += o.Plan
+	p.LongApply += o.LongApply
+	p.BucketFlush += o.BucketFlush
+	p.Checkpoint += o.Checkpoint
+	p.Release += o.Release
+	return p
+}
+
 // BatchStats summarises one flushed batch. For a sharded engine the fields
 // are sums over every shard's batch of the same flush.
 type BatchStats struct {
@@ -9,6 +40,8 @@ type BatchStats struct {
 	Evictions int
 	ReadOps   int64
 	WriteOps  int64
+	// Phases is where the flush spent its time, summed across shards.
+	Phases FlushPhases
 }
 
 // add returns the field-wise sum of two batch summaries — how FlushBatch
@@ -20,6 +53,7 @@ func (b BatchStats) add(o BatchStats) BatchStats {
 	b.Evictions += o.Evictions
 	b.ReadOps += o.ReadOps
 	b.WriteOps += o.WriteOps
+	b.Phases = b.Phases.add(o.Phases)
 	return b
 }
 
@@ -41,6 +75,12 @@ type Stats struct {
 	ReadOps         int64
 	WriteOps        int64
 	Deleted         int
+	// MaxBucketLoadFactor is the fullest shard's bucket load factor. The
+	// engine-wide BucketLoadFactor is a mean, and hash routing keeps the
+	// shards near it — but a hot shard can saturate (evicting short lists
+	// early) while the mean still looks healthy, so rebalancing decisions
+	// should watch the max. For a single shard, max and mean coincide.
+	MaxBucketLoadFactor float64
 	// Block-cache counters (all zero unless Options.CacheBlocks > 0).
 	// Counted per block: a three-block read with one resident block scores
 	// one hit and two misses.
@@ -69,6 +109,10 @@ func (s *shard) stats() Stats {
 		st.Utilization = s.snap.Directory().Utilization()
 		st.AvgReadsPerList = s.snap.Directory().AvgReadsPerList()
 		st.Deleted = s.snap.DeletedCount()
+		b := s.snap.Buckets()
+		if capacity := float64(b.NumBuckets()) * float64(b.BucketSize()); capacity > 0 {
+			st.MaxBucketLoadFactor = float64(b.TotalLoad()) / capacity
+		}
 	} else {
 		st.Batches = s.index.Batches()
 		st.LongLists = s.index.Directory().NumWords()
@@ -76,6 +120,7 @@ func (s *shard) stats() Stats {
 		st.Utilization = s.index.Directory().Utilization()
 		st.AvgReadsPerList = s.index.Directory().AvgReadsPerList()
 		st.Deleted = s.index.DeletedCount()
+		st.MaxBucketLoadFactor = s.index.BucketLoadFactor()
 	}
 	if s.cache != nil {
 		cs := s.cache.Stats()
@@ -115,9 +160,15 @@ func (e *Engine) Stats() Stats {
 		st.CacheHits += ss.CacheHits
 		st.CacheMisses += ss.CacheMisses
 		st.CacheEvictions += ss.CacheEvictions
+		if ss.MaxBucketLoadFactor > st.MaxBucketLoadFactor {
+			st.MaxBucketLoadFactor = ss.MaxBucketLoadFactor
+		}
 		utilWeighted += ss.Utilization * float64(ss.LongLists)
 		readsWeighted += ss.AvgReadsPerList * float64(ss.LongLists)
 	}
+	// Weighted means, guarded so an engine with no long lists (or no cache
+	// traffic) reports 0 rather than 0/0 = NaN — NaN poisons JSON encoding
+	// and any downstream arithmetic.
 	if st.LongLists > 0 {
 		st.Utilization = utilWeighted / float64(st.LongLists)
 		st.AvgReadsPerList = readsWeighted / float64(st.LongLists)
