@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the gate a change must pass.
 
-.PHONY: check build test race bench bench-shard bench-observe
+.PHONY: check build test race bench bench-shard bench-observe bench-reshard
 
 check:
 	./scripts/check.sh
@@ -28,3 +28,8 @@ bench-shard:
 # BENCH_observe.json. Target: enabled flush within 5% of disabled.
 bench-observe:
 	go test -run '^TestObserveBenchReport$$' -count=1 -v .
+
+# Online-resharding throughput: document migration rate for in-memory and
+# on-disk reshards, written to BENCH_reshard.json.
+bench-reshard:
+	go test -run '^TestReshardBenchReport$$' -count=1 -v .

@@ -1,0 +1,123 @@
+// Benchmarks for online resharding: migration time for a fixed corpus, in
+// memory (pure stream + swap) and against a persistent directory (stream +
+// staged-commit rename dance). TestReshardBenchReport reruns the points
+// through testing.Benchmark and writes migration throughput to
+// BENCH_reshard.json.
+package dualindex
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// benchReshardCorpus is large enough that a migration spans multiple flush
+// batches (reshardBatchDocs = 1024).
+var benchReshardCorpus = synthTexts(101, 2500, 120, 40)
+
+// benchReshardOpts is the per-shard geometry for the migration points: the
+// in-memory variant of benchShardOpts without the latency model (migration
+// throughput, not I/O overlap, is what is measured), sized so the corpus
+// fits comfortably in the persistent point's real files.
+func benchReshardOpts(shards int) Options {
+	return Options{
+		Shards:        shards,
+		KeepDocuments: true,
+		Buckets:       64,
+		BucketSize:    128,
+		NumDisks:      4,
+		BlocksPerDisk: 16384,
+		BlockSize:     512,
+	}
+}
+
+// benchReshard measures Reshard(to) on an engine pre-loaded with the
+// corpus at the from count. Building the source index is untimed.
+func benchReshard(b *testing.B, from, to int, dir string) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		opts := benchReshardOpts(from)
+		if dir != "" {
+			d, err := os.MkdirTemp(dir, "reshard-bench-*")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(d)
+			opts.Dir = d
+		}
+		eng, err := Open(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, text := range benchReshardCorpus {
+			eng.AddDocument(text)
+		}
+		if _, err := eng.FlushBatch(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := eng.Reshard(to); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := eng.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// reshardBenchReport is the schema of BENCH_reshard.json: nanoseconds per
+// migration and migrated documents per second for each point.
+type reshardBenchReport struct {
+	Docs       int                `json:"docs"`
+	MigrateNs  map[string]int64   `json:"migrate_ns"`
+	DocsPerSec map[string]float64 `json:"docs_per_sec"`
+}
+
+// TestReshardBenchReport measures 2->4 migrations (in memory and on disk)
+// and a 4->2 shrink, and writes the throughput to BENCH_reshard.json.
+// Skipped under -short.
+func TestReshardBenchReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark harness skipped in -short mode")
+	}
+	rep := reshardBenchReport{
+		Docs:       len(benchReshardCorpus),
+		MigrateNs:  map[string]int64{},
+		DocsPerSec: map[string]float64{},
+	}
+	points := []struct {
+		key      string
+		from, to int
+		disk     bool
+	}{
+		{"mem_2_to_4", 2, 4, false},
+		{"mem_4_to_2", 4, 2, false},
+		{"disk_2_to_4", 2, 4, true},
+	}
+	for _, p := range points {
+		p := p
+		dir := ""
+		if p.disk {
+			dir = t.TempDir()
+		}
+		ns := testing.Benchmark(func(b *testing.B) { benchReshard(b, p.from, p.to, dir) }).NsPerOp()
+		rep.MigrateNs[p.key] = ns
+		rep.DocsPerSec[p.key] = float64(rep.Docs) / (float64(ns) / 1e9)
+		if ns <= 0 {
+			t.Errorf("%s: non-positive migration time %d", p.key, ns)
+		}
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_reshard.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("reshard throughput: mem 2->4 %.0f docs/s, mem 4->2 %.0f docs/s, disk 2->4 %.0f docs/s",
+		rep.DocsPerSec["mem_2_to_4"], rep.DocsPerSec["mem_4_to_2"], rep.DocsPerSec["disk_2_to_4"])
+}

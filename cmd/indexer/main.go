@@ -34,14 +34,45 @@ func main() {
 		policy    = flag.String("policy", "balanced", "fast-update | balanced | fast-query | extents")
 		buckets   = flag.Int("buckets", 256, "number of buckets")
 		bsize     = flag.Int("bucketsize", 8192, "bucket size in word+posting units")
-		shards    = flag.Int("shards", 1, "index shards (must match on reopen)")
+		shards    = flag.Int("shards", 0, "index shards for a fresh index (0 adopts an existing index's manifest)")
+		routing   = flag.String("routing", "", "document routing for a fresh index: hash | range | round-robin (empty adopts the manifest, hash for a fresh index)")
+		keepDocs  = flag.Bool("keepdocs", false, "keep document text in the index (required for -reshard and positional queries)")
+		reshard   = flag.Int("reshard", 0, "reshard the existing index to this many shards and exit (requires an index built with -keepdocs)")
 		check     = flag.Bool("check", true, "run the consistency check after the build")
 		metrics   = flag.String("metrics", "", "serve /metrics, /stats, /trace and /debug/pprof on this address (e.g. localhost:6060); enables instrumentation")
 	)
 	flag.Parse()
-	if err := run(*corpusDir, *indexDir, *policy, *buckets, *bsize, *shards, *check, *metrics); err != nil {
+	if *reshard > 0 {
+		if err := runReshard(*indexDir, *reshard); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := run(*corpusDir, *indexDir, *policy, *buckets, *bsize, *shards, *routing, *keepDocs, *check, *metrics); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runReshard opens an existing index (adopting its manifest) and migrates it
+// to n shards in place — the online resharding path, exercised offline.
+func runReshard(indexDir string, n int) error {
+	eng, err := dualindex.Open(dualindex.Options{Dir: indexDir, KeepDocuments: true})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	st, err := eng.Reshard(n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("resharded %s: %d -> %d shards, %d docs migrated in %d batches (%d deleted docs swept) in %v\n",
+		indexDir, st.FromShards, st.ToShards, st.Docs, st.Batches, st.Skipped,
+		st.Dur.Round(time.Millisecond))
+	if err := eng.CheckConsistency(); err != nil {
+		return fmt.Errorf("consistency check FAILED: %w", err)
+	}
+	fmt.Println("consistency check passed")
+	return nil
 }
 
 // serveObs starts the observability endpoint for eng on addr, in the
@@ -75,7 +106,7 @@ func policyByName(name string) (dualindex.Policy, error) {
 	return dualindex.Policy{}, fmt.Errorf("unknown policy %q", name)
 }
 
-func run(corpusDir, indexDir, policyName string, buckets, bucketSize, shards int, check bool, metricsAddr string) error {
+func run(corpusDir, indexDir, policyName string, buckets, bucketSize, shards int, routing string, keepDocs, check bool, metricsAddr string) error {
 	pol, err := policyByName(policyName)
 	if err != nil {
 		return err
@@ -90,11 +121,13 @@ func run(corpusDir, indexDir, policyName string, buckets, bucketSize, shards int
 	slices.Sort(days)
 
 	opts := dualindex.Options{
-		Dir:        indexDir,
-		Shards:     shards,
-		Policy:     &pol,
-		Buckets:    buckets,
-		BucketSize: bucketSize,
+		Dir:           indexDir,
+		Shards:        shards,
+		Routing:       routing,
+		KeepDocuments: keepDocs,
+		Policy:        &pol,
+		Buckets:       buckets,
+		BucketSize:    bucketSize,
 	}
 	if metricsAddr != "" {
 		opts.Metrics = true
@@ -135,8 +168,8 @@ func run(corpusDir, indexDir, policyName string, buckets, bucketSize, shards int
 			st.ReadOps, st.WriteOps, time.Since(start).Round(time.Millisecond))
 	}
 	s := eng.Stats()
-	fmt.Printf("\nindex: %d docs, %d words, %d long lists, %d bucket words (%d shards)\n",
-		s.Docs, s.Words, s.LongLists, s.BucketWords, shards)
+	fmt.Printf("\nindex: %d docs, %d words, %d long lists, %d bucket words\n",
+		s.Docs, s.Words, s.LongLists, s.BucketWords)
 	fmt.Printf("long-list utilization %.2f, avg reads per long list %.2f\n",
 		s.Utilization, s.AvgReadsPerList)
 	if check {

@@ -31,7 +31,7 @@ func main() {
 		phrase   = flag.Bool("phrase", false, "exact phrase query (requires an index built with documents kept)")
 		near     = flag.Int("near", 0, "proximity window: treat the two query words as 'w1 within N words of w2'")
 		docs     = flag.Bool("docs", false, "keep/load stored documents (enables -phrase and -near)")
-		shards   = flag.Int("shards", 1, "index shards (must match the build)")
+		shards   = flag.Int("shards", 0, "index shards (0 adopts the index's manifest — the usual choice)")
 		metrics  = flag.String("metrics", "", "serve /metrics, /stats, /trace and /debug/pprof on this address (e.g. localhost:6060); enables instrumentation")
 		slow     = flag.Duration("slow", 0, "log queries slower than this duration (view on the -metrics endpoint's /slow)")
 	)

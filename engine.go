@@ -12,10 +12,13 @@
 // be deleted logically and reclaimed by a background-style sweep.
 //
 // The engine scales out by sharding: Options.Shards splits it into that
-// many independent dual-structure indexes behind one facade. A stable hash
-// of the document identifier routes each document to one shard; queries fan
-// out to every shard and merge their sorted answers. One shard (the
-// default) is exactly the unsharded engine, simulated I/O traces included.
+// many independent dual-structure indexes behind one facade. A pluggable
+// router (Options.Routing: hash, range or round-robin) assigns each
+// document to one shard; queries fan out to every shard and merge their
+// sorted answers. One shard (the default) is exactly the unsharded engine,
+// simulated I/O traces included. The shard count and routing are recorded
+// in a versioned MANIFEST.json in the index directory, and Engine.Reshard
+// grows (or shrinks) a live index to a new shard count without a rebuild.
 //
 // # Quick start
 //
@@ -30,6 +33,7 @@ import (
 	"sync"
 
 	"dualindex/internal/postings"
+	"dualindex/internal/route"
 )
 
 // Engine is a searchable, incrementally updatable document index, served by
@@ -42,40 +46,44 @@ import (
 // that only lock at their boundaries, maintenance serialised on a per-shard
 // flush lock. Shards therefore add, flush and answer in parallel.
 type Engine struct {
-	opts   Options
-	shards []*shard
-	obs    *observer // nil unless Options enables observability (see observe.go)
+	opts Options
+	obs  *observer // nil unless Options enables observability (see observe.go)
+
+	// stateMu guards the shard set and router against the commit swap at
+	// the end of Engine.Reshard: every operation that touches e.shards or
+	// e.router holds RLock for its duration, and the swap — close old
+	// shards, commit the staged layout, install the new shards — holds
+	// Lock, so it both drains in-flight operations and blocks new ones for
+	// that brief window. Lock order: reshardMu, then stateMu, then e.mu
+	// and the per-shard locks.
+	stateMu sync.RWMutex
+	shards  []*shard
+	router  route.Router
+
+	// reshardMu gates mutators against a whole reshard: AddDocument,
+	// Delete, FlushBatch, Sweep, RebalanceBuckets and Close hold RLock, and
+	// Reshard holds Lock for its entire run, so the document set it streams
+	// to the new shards cannot change under it. Queries do not touch this
+	// lock — they keep answering from the old shards until the commit swap.
+	reshardMu sync.RWMutex
 
 	mu      sync.Mutex // guards nextDoc
 	nextDoc postings.DocID
 }
 
-// shardIndex routes a document identifier to a shard with a stable integer
-// hash (the SplitMix64 finalizer), so the assignment never depends on
-// insertion order, shard state, or process lifetime — only on the
-// identifier and the shard count.
-func shardIndex(doc postings.DocID, n int) int {
-	if n <= 1 {
-		return 0
-	}
-	x := uint64(doc)
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return int(x % uint64(n))
-}
-
-// shardFor returns the shard owning the document.
+// shardFor returns the shard owning the document. The caller must hold
+// e.stateMu.RLock (or otherwise exclude a reshard swap).
 func (e *Engine) shardFor(doc postings.DocID) *shard {
-	return e.shards[shardIndex(doc, len(e.shards))]
+	return e.shards[e.router.Shard(doc)]
 }
 
 // fanOut runs fn on every shard — concurrently when there is more than one
 // — and collects the per-shard results in shard order. The first error
-// wins.
+// wins. It holds the engine's shard-set read lock for the duration, so a
+// reshard commit cannot close a shard mid-query.
 func fanOut[T any](e *Engine, fn func(*shard) (T, error)) ([]T, error) {
+	e.stateMu.RLock()
+	defer e.stateMu.RUnlock()
 	out := make([]T, len(e.shards))
 	if len(e.shards) == 1 {
 		var err error
@@ -113,6 +121,10 @@ func fanOut[T any](e *Engine, fn func(*shard) (T, error)) ([]T, error) {
 // Tokenization runs under the shard lock only, so additions to different
 // shards tokenize in parallel.
 func (e *Engine) AddDocument(text string) DocID {
+	e.reshardMu.RLock()
+	defer e.reshardMu.RUnlock()
+	e.stateMu.RLock()
+	defer e.stateMu.RUnlock()
 	e.mu.Lock()
 	e.nextDoc++
 	doc := e.nextDoc
@@ -126,6 +138,8 @@ func (e *Engine) AddDocument(text string) DocID {
 
 // PendingDocs reports how many documents await a flush, across all shards.
 func (e *Engine) PendingDocs() int {
+	e.stateMu.RLock()
+	defer e.stateMu.RUnlock()
 	n := 0
 	for _, s := range e.shards {
 		n += s.numPending()
@@ -146,6 +160,15 @@ func (e *Engine) PendingDocs() int {
 // batch, so no documents are lost; shards that already flushed stay
 // flushed, which is safe because every shard checkpoints independently.
 func (e *Engine) FlushBatch() (BatchStats, error) {
+	e.reshardMu.RLock()
+	defer e.reshardMu.RUnlock()
+	e.stateMu.RLock()
+	defer e.stateMu.RUnlock()
+	return e.flushShardsLocked()
+}
+
+// flushShardsLocked flushes every shard under the caller's engine locks.
+func (e *Engine) flushShardsLocked() (BatchStats, error) {
 	stats := make([]BatchStats, len(e.shards))
 	errs := make([]error, len(e.shards))
 	if len(e.shards) == 1 {
@@ -184,6 +207,10 @@ func (e *Engine) FlushBatch() (BatchStats, error) {
 // and its postings are reclaimed by Sweep. Delete waits for any running
 // flush of the owning shard to finish.
 func (e *Engine) Delete(doc DocID) {
+	e.reshardMu.RLock()
+	defer e.reshardMu.RUnlock()
+	e.stateMu.RLock()
+	defer e.stateMu.RUnlock()
 	e.shardFor(doc).delete(doc)
 }
 
@@ -191,6 +218,10 @@ func (e *Engine) Delete(doc DocID) {
 // shard and, when documents are kept, compacts them out of the document
 // stores.
 func (e *Engine) Sweep() error {
+	e.reshardMu.RLock()
+	defer e.reshardMu.RUnlock()
+	e.stateMu.RLock()
+	defer e.stateMu.RUnlock()
 	for _, s := range e.shards {
 		if err := s.sweep(); err != nil {
 			return err
@@ -203,6 +234,10 @@ func (e *Engine) Sweep() error {
 // space of the given (per-shard) geometry and checkpoints the result. Query
 // answers are unaffected; only the short/long division shifts.
 func (e *Engine) RebalanceBuckets(buckets, bucketSize int) error {
+	e.reshardMu.RLock()
+	defer e.reshardMu.RUnlock()
+	e.stateMu.RLock()
+	defer e.stateMu.RUnlock()
 	for _, s := range e.shards {
 		if err := s.rebalanceBuckets(buckets, bucketSize); err != nil {
 			return err
@@ -216,6 +251,8 @@ func (e *Engine) RebalanceBuckets(buckets, bucketSize int) error {
 // and (for persistent engines) that every long list decodes cleanly. Run it
 // after reopening an index to validate the checkpoints.
 func (e *Engine) CheckConsistency() error {
+	e.stateMu.RLock()
+	defer e.stateMu.RUnlock()
 	for _, s := range e.shards {
 		if err := s.checkConsistency(); err != nil {
 			return err
@@ -226,8 +263,12 @@ func (e *Engine) CheckConsistency() error {
 
 // Close releases the engine's resources, persisting each shard's vocabulary
 // first for on-disk engines. All shards are closed even if one fails; the
-// first error is returned.
+// first error is returned. Close waits for a running reshard to finish.
 func (e *Engine) Close() error {
+	e.reshardMu.RLock()
+	defer e.reshardMu.RUnlock()
+	e.stateMu.RLock()
+	defer e.stateMu.RUnlock()
 	var first error
 	for _, s := range e.shards {
 		if err := s.close(); err != nil && first == nil {

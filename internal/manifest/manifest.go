@@ -1,0 +1,120 @@
+// Package manifest persists an index directory's identity: the layout and
+// routing facts that must never drift between the process that built an
+// index and the process that reopens it. The manifest replaces layout
+// probing ("does shard-0/disk0.dat exist?") with a single versioned record,
+// MANIFEST.json at the directory root, written atomically so a crash can
+// never leave a half-written manifest in place.
+//
+// The manifest records the format version, the shard count and the document
+// router (kind plus parameters). The shard count and router jointly decide
+// where every document's postings live, so an index may only be opened with
+// the recorded values; changing them is what Engine.Reshard is for, and it
+// rewrites the manifest as the last step of its commit.
+package manifest
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// FileName is the manifest's name within an index directory.
+const FileName = "MANIFEST.json"
+
+// Version is the current manifest format version. Readers accept versions
+// in [1, Version]; a larger version means the directory was written by a
+// newer engine and must not be modified by this one.
+const Version = 1
+
+// Manifest is the persisted identity of one index directory.
+type Manifest struct {
+	// Version is the manifest format version (see Version).
+	Version int `json:"version"`
+	// Shards is the number of index shards. 1 means the flat single-shard
+	// layout (index files directly under the directory); more means one
+	// shard-<i> subdirectory per shard.
+	Shards int `json:"shards"`
+	// Routing names the document router ("hash", "range", "round-robin").
+	Routing string `json:"routing"`
+	// RangeSpan is the range router's span (documents per contiguous run);
+	// 0 for the other routers.
+	RangeSpan int `json:"range_span,omitempty"`
+}
+
+// Path returns the manifest's path inside dir.
+func Path(dir string) string { return filepath.Join(dir, FileName) }
+
+// Load reads dir's manifest. A missing manifest returns an error satisfying
+// errors.Is(err, fs.ErrNotExist) — the caller decides whether that means a
+// fresh directory or a legacy layout to upgrade. A present but unreadable
+// or structurally invalid manifest is a hard, descriptive error: guessing
+// the layout of a corrupt index risks routing documents to the wrong shard.
+func Load(dir string) (Manifest, error) {
+	var m Manifest
+	data, err := os.ReadFile(Path(dir))
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, fmt.Errorf("manifest: %s is corrupt: %w", Path(dir), err)
+	}
+	if err := m.Validate(); err != nil {
+		return m, fmt.Errorf("manifest: %s: %w", Path(dir), err)
+	}
+	return m, nil
+}
+
+// Validate checks the manifest's structural invariants.
+func (m Manifest) Validate() error {
+	if m.Version < 1 {
+		return fmt.Errorf("missing or invalid version %d", m.Version)
+	}
+	if m.Version > Version {
+		return fmt.Errorf("format version %d is newer than this engine's %d", m.Version, Version)
+	}
+	if m.Shards < 1 {
+		return fmt.Errorf("invalid shard count %d", m.Shards)
+	}
+	if m.Routing == "" {
+		return fmt.Errorf("missing routing")
+	}
+	if m.RangeSpan < 0 {
+		return fmt.Errorf("invalid range span %d", m.RangeSpan)
+	}
+	return nil
+}
+
+// Save writes m as dir's manifest, atomically: the bytes land in a sibling
+// temporary file which is fsynced and renamed into place, so every reader
+// sees either the old manifest or the new one, never a prefix.
+func Save(dir string, m Manifest) error {
+	if err := m.Validate(); err != nil {
+		return fmt.Errorf("manifest: refusing to write: %w", err)
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	tmp := Path(dir) + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, Path(dir))
+}

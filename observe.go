@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"dualindex/internal/cache"
 	"dualindex/internal/core"
 	"dualindex/internal/metrics"
 	"dualindex/internal/trace"
@@ -23,9 +24,6 @@ import (
 // the registry's maps are consulted once, at Open. Nothing here touches
 // the disk array, so the simulated I/O traces pinned by
 // TestSingleShardTraceMatchesCore are byte-identical with metrics on.
-
-// slowLogSize is the capacity of the slow-query ring.
-const slowLogSize = 128
 
 // SlowQueryRecord is one entry of the slow-query log: a query whose total
 // latency exceeded Options.SlowQuery.
@@ -51,8 +49,13 @@ type observer struct {
 	queryTotal map[string]*metrics.Histogram // kind → end-to-end latency
 	queryCount map[string]*metrics.Counter   // kind → queries served
 
+	reshards       *metrics.Counter // completed reshards
+	reshardDocs    *metrics.Counter // documents migrated by reshards
+	reshardBatches *metrics.Counter // migration flush batches
+
 	slowMu   sync.Mutex
-	slow     []SlowQueryRecord // ring, capacity slowLogSize
+	slowCap  int               // Options.SlowQueryLog
+	slow     []SlowQueryRecord // ring, capacity slowCap
 	slowNext int
 }
 
@@ -62,7 +65,7 @@ func newObserver(opts Options) *observer {
 	if !opts.Metrics && opts.SlowQuery <= 0 && opts.TraceBuffer <= 0 {
 		return nil
 	}
-	o := &observer{slowThreshold: opts.SlowQuery}
+	o := &observer{slowThreshold: opts.SlowQuery, slowCap: opts.SlowQueryLog}
 	if opts.Metrics {
 		o.reg = metrics.NewRegistry("dualindex")
 	}
@@ -85,7 +88,46 @@ func newObserver(opts Options) *observer {
 		"vector":  o.reg.Counter(`queries_total{kind="vector"}`),
 	}
 	o.slowTotal = o.reg.Counter("slow_queries_total")
+	o.reshards = o.reg.Counter("reshards_total")
+	o.reshardDocs = o.reg.Counter("reshard_docs_total")
+	o.reshardBatches = o.reg.Counter("reshard_batches_total")
 	return o
+}
+
+// now reads the clock only on an instrumented engine; the zero time it
+// otherwise returns makes downstream observe calls no-ops.
+func (o *observer) now() time.Time {
+	if o == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// observeReshard records one completed reshard: the migrated-document and
+// batch counters plus a "reshard" trace phase covering the whole
+// migration+commit window.
+func (o *observer) observeReshard(start time.Time, st ReshardStats) {
+	if o == nil {
+		return
+	}
+	o.reshards.Inc()
+	o.reshardDocs.Add(int64(st.Docs))
+	o.reshardBatches.Add(int64(st.Batches))
+	o.rec.RecordAt("engine", "reshard", fmt.Sprintf(
+		"from=%d to=%d docs=%d batches=%d skipped=%d",
+		st.FromShards, st.ToShards, st.Docs, st.Batches, st.Skipped),
+		start, time.Since(start))
+}
+
+// observeReshardStream records the migration's streaming phase — every
+// live document fetched, re-routed and applied to the staged shards — as a
+// trace span.
+func (o *observer) observeReshardStream(docs, skipped int, start time.Time) {
+	if o == nil {
+		return
+	}
+	o.rec.RecordAt("engine", "reshard.stream",
+		fmt.Sprintf("docs=%d skipped=%d", docs, skipped), start, time.Since(start))
 }
 
 // flushPhaseNames are the five flush phases, in execution order, matching
@@ -262,11 +304,11 @@ func (o *observer) recordSlow(r SlowQueryRecord) {
 	o.slowTotal.Inc()
 	o.rec.RecordAt("engine", "query.slow", fmt.Sprintf("kind=%s query=%q", r.Kind, r.Query), r.Time, r.Dur)
 	o.slowMu.Lock()
-	if len(o.slow) < slowLogSize {
+	if len(o.slow) < o.slowCap {
 		o.slow = append(o.slow, r)
 	} else {
 		o.slow[o.slowNext] = r
-		o.slowNext = (o.slowNext + 1) % slowLogSize
+		o.slowNext = (o.slowNext + 1) % o.slowCap
 	}
 	o.slowMu.Unlock()
 }
@@ -304,42 +346,94 @@ func (e *Engine) Tracer() *trace.Recorder {
 }
 
 // SlowQueries returns the slow-query log, oldest first: every query whose
-// end-to-end latency met Options.SlowQuery, up to the last 128.
+// end-to-end latency met Options.SlowQuery, up to the last
+// Options.SlowQueryLog entries (default 128).
 func (e *Engine) SlowQueries() []SlowQueryRecord {
 	return e.obs.slowQueries()
 }
 
+// shardAt returns shard i, or nil when no such shard exists — the
+// scrape-time accessor behind the registered gauge funcs, which look the
+// shard up on every scrape so a reshard swap retargets them automatically
+// (and a shard index retired by a shrink reads as absent, not stale).
+func (e *Engine) shardAt(i int) *shard {
+	e.stateMu.RLock()
+	defer e.stateMu.RUnlock()
+	if i < 0 || i >= len(e.shards) {
+		return nil
+	}
+	return e.shards[i]
+}
+
 // registerShardFuncs exports the per-shard scrape-time gauges — cache
 // counters, per-disk I/O counters, bucket load and pending documents —
-// into the registry. Called once from Open, after the shards exist.
+// into the registry. Called from Open after the shards exist and again
+// after a reshard grows the shard count. The funcs resolve the shard at
+// scrape time (shardAt), so re-registration is idempotent and a retired
+// shard index reports zero.
 func (e *Engine) registerShardFuncs() {
 	reg := e.Metrics()
 	if reg == nil {
 		return
 	}
-	for i, s := range e.shards {
-		s := s
+	e.stateMu.RLock()
+	n := len(e.shards)
+	e.stateMu.RUnlock()
+	for i := 0; i < n; i++ {
+		i := i
 		shard := fmt.Sprintf("%d", i)
 		reg.RegisterFunc(`pending_docs{shard="`+shard+`"}`,
-			func() float64 { return float64(s.numPending()) })
+			func() float64 {
+				s := e.shardAt(i)
+				if s == nil {
+					return 0
+				}
+				return float64(s.numPending())
+			})
 		reg.RegisterFunc(`bucket_load_factor{shard="`+shard+`"}`,
-			func() float64 { return s.bucketLoadFactor() })
-		if s.cache != nil {
+			func() float64 {
+				s := e.shardAt(i)
+				if s == nil {
+					return 0
+				}
+				return s.bucketLoadFactor()
+			})
+		if e.opts.CacheBlocks > 0 {
+			cacheStat := func(pick func(cache.Stats) int64) func() float64 {
+				return func() float64 {
+					s := e.shardAt(i)
+					if s == nil || s.cache == nil {
+						return 0
+					}
+					return float64(pick(s.cache.Stats()))
+				}
+			}
 			reg.RegisterFunc(`cache_hits_total{shard="`+shard+`"}`,
-				func() float64 { return float64(s.cache.Stats().Hits) })
+				cacheStat(func(cs cache.Stats) int64 { return cs.Hits }))
 			reg.RegisterFunc(`cache_misses_total{shard="`+shard+`"}`,
-				func() float64 { return float64(s.cache.Stats().Misses) })
+				cacheStat(func(cs cache.Stats) int64 { return cs.Misses }))
 			reg.RegisterFunc(`cache_evictions_total{shard="`+shard+`"}`,
-				func() float64 { return float64(s.cache.Stats().Evictions) })
+				cacheStat(func(cs cache.Stats) int64 { return cs.Evictions }))
 		}
-		array := s.index.Array()
-		for d := 0; d < array.Geometry().NumDisks; d++ {
+		for d := 0; d < e.opts.NumDisks; d++ {
 			d := d
 			labels := fmt.Sprintf(`{shard=%q,disk="%d"}`, shard, d)
 			reg.RegisterFunc(`disk_read_ops_total`+labels,
-				func() float64 { return float64(array.DiskOpCounts(d).ReadOps) })
+				func() float64 {
+					s := e.shardAt(i)
+					if s == nil {
+						return 0
+					}
+					return float64(s.index.Array().DiskOpCounts(d).ReadOps)
+				})
 			reg.RegisterFunc(`disk_write_ops_total`+labels,
-				func() float64 { return float64(array.DiskOpCounts(d).WriteOps) })
+				func() float64 {
+					s := e.shardAt(i)
+					if s == nil {
+						return 0
+					}
+					return float64(s.index.Array().DiskOpCounts(d).WriteOps)
+				})
 		}
 	}
 }

@@ -308,3 +308,49 @@ func TestStatsAggregationSharded(t *testing.T) {
 		t.Errorf("single shard: MaxBucketLoadFactor = %v, BucketLoadFactor = %v", got, want)
 	}
 }
+
+// TestSlowQueryLogBounded pins Options.SlowQueryLog: the ring keeps exactly
+// the configured number of most recent entries, oldest first, and the
+// zero value defaults to 128.
+func TestSlowQueryLogBounded(t *testing.T) {
+	opts := smallOpts(1)
+	opts.SlowQuery = 1 // every query qualifies
+	opts.SlowQueryLog = 4
+	eng, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for _, text := range synthTexts(83, 30, 20, 10) {
+		eng.AddDocument(text)
+	}
+	if _, err := eng.FlushBatch(); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := make([]string, 10)
+	for i := range queries {
+		queries[i] = synthWord(i % 20)
+		if _, err := eng.SearchBoolean(queries[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	slow := eng.SlowQueries()
+	if len(slow) != 4 {
+		t.Fatalf("SlowQueries len = %d, want the configured cap 4", len(slow))
+	}
+	for i, rec := range slow {
+		// The survivors are the last four queries, oldest first.
+		if want := queries[len(queries)-4+i]; rec.Query != want {
+			t.Errorf("slow[%d].Query = %q, want %q", i, rec.Query, want)
+		}
+	}
+	if !slow[0].Time.Before(slow[3].Time) && !slow[0].Time.Equal(slow[3].Time) {
+		t.Error("slow-query log not in oldest-first order")
+	}
+
+	// The zero value defaults to 128 — the pre-option capacity.
+	if got := (Options{}).withDefaults().SlowQueryLog; got != 128 {
+		t.Errorf("default SlowQueryLog = %d, want 128", got)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"dualindex/internal/lexer"
 	"dualindex/internal/longlist"
 	"dualindex/internal/postings"
+	"dualindex/internal/route"
 )
 
 // DocID identifies a document. Identifiers are assigned in arrival order,
@@ -90,13 +91,28 @@ type Options struct {
 	// in-memory.
 	Dir string
 	// Shards partitions the engine into that many independent index shards.
-	// Documents are routed to a shard by a stable hash of their DocID;
-	// queries fan out to every shard and merge. Each shard owns a full disk
-	// array, bucket space and vocabulary of the sizes configured below, and
-	// its own flush lock, so shards update and answer in parallel. 0 or 1
-	// means one shard, which preserves the unsharded engine's behaviour —
-	// and its simulated I/O traces — exactly.
+	// Documents are routed to a shard (see Routing); queries fan out to
+	// every shard and merge. Each shard owns a full disk array, bucket
+	// space and vocabulary of the sizes configured below, and its own flush
+	// lock, so shards update and answer in parallel. One shard preserves
+	// the unsharded engine's behaviour — and its simulated I/O traces —
+	// exactly. 0 means "unspecified": one shard for a new index, and for an
+	// existing persistent index whatever its manifest records. A non-zero
+	// count that disagrees with an existing index's manifest is refused;
+	// Engine.Reshard is how the shard count of a live index changes.
 	Shards int
+	// Routing selects the document-to-shard router: "hash" (a stable
+	// SplitMix64 hash of the DocID — uniform, the default), "range"
+	// (contiguous spans of RangeSpan consecutive DocIDs rotate over the
+	// shards, keeping time-adjacent documents together on time-partitioned
+	// corpora) or "round-robin" (documents alternate over the shards).
+	// Routing decides where every document's postings live, so it is
+	// recorded in the index manifest at creation and "" adopts whatever an
+	// existing index records; a non-empty value that disagrees is refused.
+	Routing string
+	// RangeSpan is the "range" router's span — how many consecutive DocIDs
+	// share a shard assignment. 0 means 1024. Ignored by other routings.
+	RangeSpan int
 	// Policy defaults to PolicyBalanced.
 	Policy *Policy
 	// Buckets and BucketSize size the short-list structure (per shard); zero
@@ -141,6 +157,9 @@ type Options struct {
 	// threshold to an in-memory ring (Engine.SlowQueries) and counts it in
 	// the slow_queries_total metric. 0 disables the slow-query log.
 	SlowQuery time.Duration
+	// SlowQueryLog caps the slow-query ring: once full, each new slow
+	// query evicts the oldest. Values below 1 mean 128.
+	SlowQueryLog int
 	// TraceBuffer, when positive, records structured span events — one per
 	// flush phase, query phase and slow query — into a ring of that many
 	// events, readable through Engine.Tracer. 0 disables span tracing.
@@ -158,9 +177,10 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
-	if o.Shards == 0 {
-		o.Shards = 1
-	}
+	// Shards and Routing are NOT defaulted here: their zero values mean
+	// "adopt the manifest" for an existing persistent index, and Open
+	// resolves them (via routingDefaults) only once it knows the index is
+	// new. See Open.
 	if o.Policy == nil {
 		p := PolicyBalanced
 		o.Policy = &p
@@ -182,6 +202,27 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers == 0 {
 		o.Workers = o.NumDisks
+	}
+	if o.SlowQueryLog < 1 {
+		o.SlowQueryLog = 128
+	}
+	return o
+}
+
+// routingDefaults resolves the "unspecified" zero values of the sharding
+// and routing options for a new index: one shard, hash routing, the
+// default range span. Open applies it to in-memory engines and to fresh
+// persistent directories; existing directories resolve from their manifest
+// instead.
+func (o Options) routingDefaults() Options {
+	if o.Shards == 0 {
+		o.Shards = 1
+	}
+	if o.Routing == "" {
+		o.Routing = route.KindHash
+	}
+	if o.Routing == route.KindRange && o.RangeSpan == 0 {
+		o.RangeSpan = route.DefaultRangeSpan
 	}
 	return o
 }

@@ -1,11 +1,17 @@
 package dualindex
 
 import (
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"dualindex/internal/disk"
+	"dualindex/internal/manifest"
+	"dualindex/internal/route"
 	"dualindex/internal/vocab"
 )
 
@@ -18,20 +24,40 @@ import (
 // vocab.txt, docs.log) directly under Dir — the pre-sharding layout,
 // unchanged. A sharded engine gives each shard its own Dir/shard-<i>/
 // subdirectory with that same layout inside, and Open recovers the shards
-// one by one. The shard count is part of the layout: reopening an index
-// with a different Options.Shards than it was built with is refused, since
-// the document-to-shard routing would no longer match.
+// one by one. A MANIFEST.json at the directory root records the shard
+// count, the document routing and a format version; directories from before
+// the manifest existed are detected by their layout and upgraded in place.
+//
+// The shard count and routing are part of the index's identity — they
+// decide where every document lives — so Open refuses an existing index
+// whose manifest disagrees with a non-zero Options.Shards or non-empty
+// Options.Routing. Leave them zero to adopt whatever the manifest records
+// (the usual way to reopen), and use Engine.Reshard to change the shard
+// count of a live index.
 func Open(opts Options) (*Engine, error) {
 	opts = opts.withDefaults()
 	if opts.Shards < 0 {
 		return nil, fmt.Errorf("dualindex: negative shard count %d", opts.Shards)
 	}
-	if opts.Dir != "" {
-		if err := checkShardLayout(opts.Dir, opts.Shards); err != nil {
+	if opts.RangeSpan < 0 {
+		return nil, fmt.Errorf("dualindex: negative range span %d", opts.RangeSpan)
+	}
+	writeManifest := false
+	if opts.Dir == "" {
+		opts = opts.routingDefaults()
+	} else {
+		m, fresh, err := resolveLayout(opts.Dir, opts)
+		if err != nil {
 			return nil, err
 		}
+		opts.Shards, opts.Routing, opts.RangeSpan = m.Shards, m.Routing, m.RangeSpan
+		writeManifest = fresh
 	}
-	e := &Engine{opts: opts, obs: newObserver(opts)}
+	router, err := route.New(opts.Routing, opts.Shards, opts.RangeSpan)
+	if err != nil {
+		return nil, fmt.Errorf("dualindex: %w", err)
+	}
+	e := &Engine{opts: opts, router: router, obs: newObserver(opts)}
 	for i := 0; i < opts.Shards; i++ {
 		s, err := openShard(opts, shardDir(opts.Dir, i, opts.Shards))
 		if err != nil {
@@ -46,8 +72,238 @@ func Open(opts Options) (*Engine, error) {
 			e.nextDoc = s.lastDoc
 		}
 	}
+	if writeManifest {
+		// Stamped only after every shard opened, so a failed create leaves
+		// no manifest claiming shards that were never built.
+		if err := manifest.Save(opts.Dir, manifestFor(opts)); err != nil {
+			e.Close()
+			return nil, fmt.Errorf("dualindex: writing index manifest: %w", err)
+		}
+	}
 	e.registerShardFuncs()
 	return e, nil
+}
+
+// manifestFor renders an Options set (with routing already resolved) as the
+// manifest to persist.
+func manifestFor(opts Options) manifest.Manifest {
+	m := manifest.Manifest{Version: manifest.Version, Shards: opts.Shards, Routing: opts.Routing}
+	if opts.Routing == route.KindRange {
+		m.RangeSpan = opts.RangeSpan
+	}
+	return m
+}
+
+// resolveLayout determines dir's shard count and routing, reconciling the
+// on-disk manifest with the requested options. It first settles any
+// interrupted reshard: a committed staging directory (the rename happened)
+// is rolled forward, an uncommitted one is discarded. Then:
+//
+//   - A manifest is loaded and checked against the options: a non-zero
+//     Options.Shards or non-empty Options.Routing that disagrees with the
+//     recorded values is refused with a descriptive error, and every shard
+//     directory the manifest promises must exist.
+//   - A manifest-less directory holding a legacy layout (flat files or
+//     shard-<i> subdirectories from before the manifest existed) is
+//     detected and upgraded in place: legacy indexes were always
+//     hash-routed, so requesting any other routing for one is refused.
+//   - An empty or absent directory is a fresh index: the options decide,
+//     and fresh=true tells Open to stamp the manifest once the shards are
+//     built.
+func resolveLayout(dir string, opts Options) (m manifest.Manifest, fresh bool, err error) {
+	if err := finishReshardCommit(dir); err != nil {
+		return m, false, fmt.Errorf("dualindex: completing interrupted reshard: %w", err)
+	}
+	if err := os.RemoveAll(filepath.Join(dir, reshardStagingName)); err != nil {
+		return m, false, fmt.Errorf("dualindex: discarding reshard staging: %w", err)
+	}
+	m, err = manifest.Load(dir)
+	switch {
+	case err == nil:
+		if err := reconcileManifest(dir, m, opts); err != nil {
+			return m, false, err
+		}
+		if err := verifyShardDirs(dir, m.Shards); err != nil {
+			return m, false, err
+		}
+		return m, false, nil
+	case errors.Is(err, fs.ErrNotExist):
+		// Manifest-less: a legacy directory or a fresh one.
+	default:
+		return m, false, fmt.Errorf("dualindex: %w", err)
+	}
+	legacyShards, found, err := probeLegacyLayout(dir)
+	if err != nil {
+		return m, false, err
+	}
+	if found {
+		// Legacy indexes predate routing choices: they are hash-routed by
+		// construction, so upgrading stamps that — and refuses an explicit
+		// request for anything else.
+		if opts.Routing != "" && opts.Routing != route.KindHash {
+			return m, false, fmt.Errorf(
+				"dualindex: %s predates routing manifests and is hash-routed; it cannot be opened with Routing %q",
+				dir, opts.Routing)
+		}
+		if opts.Shards != 0 && opts.Shards != legacyShards {
+			return m, false, fmt.Errorf(
+				"dualindex: %s holds a %d-shard index, not %d shards (set Shards to %d or 0 to adopt)",
+				dir, legacyShards, opts.Shards, legacyShards)
+		}
+		m = manifest.Manifest{Version: manifest.Version, Shards: legacyShards, Routing: route.KindHash}
+		if err := manifest.Save(dir, m); err != nil {
+			return m, false, fmt.Errorf("dualindex: upgrading legacy index layout: %w", err)
+		}
+		return m, false, nil
+	}
+	opts = opts.routingDefaults()
+	return manifestFor(opts), true, nil
+}
+
+// reconcileManifest refuses options that contradict what the manifest
+// records. Zero-valued options mean "adopt the manifest".
+func reconcileManifest(dir string, m manifest.Manifest, opts Options) error {
+	if opts.Shards != 0 && opts.Shards != m.Shards {
+		return fmt.Errorf(
+			"dualindex: %s holds a %d-shard index, not %d shards (set Shards to %d or 0 to adopt; use Engine.Reshard to change it)",
+			dir, m.Shards, opts.Shards, m.Shards)
+	}
+	if opts.Routing != "" && opts.Routing != m.Routing {
+		return fmt.Errorf(
+			"dualindex: %s is %s-routed, not %s-routed (routing is fixed when the index is created)",
+			dir, m.Routing, opts.Routing)
+	}
+	if m.Routing == route.KindRange && opts.RangeSpan != 0 && opts.RangeSpan != m.RangeSpan {
+		return fmt.Errorf(
+			"dualindex: %s uses range span %d, not %d (the span is fixed when the index is created)",
+			dir, m.RangeSpan, opts.RangeSpan)
+	}
+	return nil
+}
+
+// verifyShardDirs checks that every shard the manifest promises is actually
+// on disk, so a partially deleted index fails with a description instead of
+// silently reopening the missing shard as empty — which would lose every
+// document routed to it.
+func verifyShardDirs(dir string, shards int) error {
+	for i := 0; i < shards; i++ {
+		sd := shardDir(dir, i, shards)
+		if _, err := os.Stat(filepath.Join(sd, "disk0.dat")); err != nil {
+			return fmt.Errorf(
+				"dualindex: %s is a %d-shard index per its manifest, but shard %d's files are missing (%s); the index is partial — restore the directory or delete it and rebuild",
+				dir, shards, i, filepath.Join(sd, "disk0.dat"))
+		}
+	}
+	return nil
+}
+
+// probeLegacyLayout detects a pre-manifest index: flat files directly under
+// dir mark a single-shard index, shard-<i> subdirectories a sharded one.
+// found is false for a fresh (empty or absent) directory.
+func probeLegacyLayout(dir string) (shards int, found bool, err error) {
+	if _, err := os.Stat(filepath.Join(dir, "disk0.dat")); err == nil {
+		return 1, true, nil
+	}
+	n := 0
+	for {
+		if _, err := os.Stat(filepath.Join(dir, fmt.Sprintf("shard-%d", n), "disk0.dat")); err != nil {
+			break
+		}
+		n++
+	}
+	if n > 0 {
+		return n, true, nil
+	}
+	return 0, false, nil
+}
+
+// Reshard staging directories, both inside Dir. A reshard builds the new
+// layout under .resharding/ and renames it to .reshard-commit/ as its
+// atomic commit point: a leftover .resharding/ is an abandoned attempt and
+// is discarded on open, while a .reshard-commit/ is a committed reshard
+// whose file moves were interrupted and is rolled forward on open.
+const (
+	reshardStagingName = ".resharding"
+	reshardCommitName  = ".reshard-commit"
+)
+
+// finishReshardCommit rolls a committed reshard forward: every entry of the
+// staged layout is moved into place (replacing its predecessor), stale
+// entries of the old layout are removed, and the staged manifest lands
+// last, after which the commit directory is deleted. Every step is
+// idempotent — entries already moved by an interrupted earlier attempt are
+// simply no longer in the commit directory — so the function may be re-run
+// after a crash at any point. A no-op when no commit directory exists.
+func finishReshardCommit(dir string) error {
+	cdir := filepath.Join(dir, reshardCommitName)
+	if _, err := os.Stat(cdir); err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	m, err := manifest.Load(cdir)
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			return err
+		}
+		// The manifest already moved — the last step before deleting the
+		// commit directory — so every data entry moved before it. Only the
+		// directory deletion remains.
+		return os.RemoveAll(cdir)
+	}
+	// Remove old-layout entries the new layout will not overwrite. These
+	// names are never part of the new layout, so re-removing after a crash
+	// is harmless.
+	if m.Shards > 1 {
+		flat, err := filepath.Glob(filepath.Join(dir, "disk*.dat"))
+		if err != nil {
+			return err
+		}
+		stale := append(flat, filepath.Join(dir, "vocab.txt"), filepath.Join(dir, "docs.log"))
+		for _, p := range stale {
+			if err := os.RemoveAll(p); err != nil {
+				return err
+			}
+		}
+	}
+	shardDirs, err := filepath.Glob(filepath.Join(dir, "shard-*"))
+	if err != nil {
+		return err
+	}
+	for _, p := range shardDirs {
+		idx, err := strconv.Atoi(strings.TrimPrefix(filepath.Base(p), "shard-"))
+		if err != nil {
+			continue // not one of ours
+		}
+		if m.Shards == 1 || idx >= m.Shards {
+			if err := os.RemoveAll(p); err != nil {
+				return err
+			}
+		}
+	}
+	// Move the staged entries into place, the manifest last: its arrival is
+	// what switches readers to the new layout.
+	entries, err := os.ReadDir(cdir)
+	if err != nil {
+		return err
+	}
+	for _, ent := range entries {
+		if ent.Name() == manifest.FileName {
+			continue
+		}
+		target := filepath.Join(dir, ent.Name())
+		if err := os.RemoveAll(target); err != nil {
+			return err
+		}
+		if err := os.Rename(filepath.Join(cdir, ent.Name()), target); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(manifest.Path(cdir), manifest.Path(dir)); err != nil {
+		return err
+	}
+	return os.RemoveAll(cdir)
 }
 
 // shardDir returns shard i's directory: Dir itself for a single-shard
@@ -61,31 +317,6 @@ func shardDir(dir string, i, shards int) string {
 		return dir
 	}
 	return filepath.Join(dir, fmt.Sprintf("shard-%d", i))
-}
-
-// checkShardLayout refuses to open an existing index with a shard count
-// other than the one it was built with: the flat layout (disk0.dat directly
-// under Dir) marks a single-shard index, shard-<i> subdirectories mark a
-// sharded one.
-func checkShardLayout(dir string, shards int) error {
-	existing := 0
-	for {
-		if _, err := os.Stat(filepath.Join(dir, fmt.Sprintf("shard-%d", existing), "disk0.dat")); err != nil {
-			break
-		}
-		existing++
-	}
-	_, err := os.Stat(filepath.Join(dir, "disk0.dat"))
-	flat := err == nil
-	switch {
-	case flat && shards > 1:
-		return fmt.Errorf("dualindex: %s holds a single-shard index; reopen it with Shards <= 1", dir)
-	case existing > 0 && shards == 1:
-		return fmt.Errorf("dualindex: %s holds a %d-shard index; reopen it with Shards = %d", dir, existing, existing)
-	case existing > 0 && existing != shards:
-		return fmt.Errorf("dualindex: %s holds a %d-shard index, not %d shards", dir, existing, shards)
-	}
-	return nil
 }
 
 func openFileStore(dir string, disks, blockSize int, resume bool) (disk.BlockStore, error) {

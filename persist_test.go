@@ -1,0 +1,268 @@
+package dualindex
+
+import (
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+	"testing"
+
+	"dualindex/internal/manifest"
+	"dualindex/internal/route"
+)
+
+// persistDir builds a small persistent index at the given shard count and
+// closes it, returning its directory.
+func persistDir(t *testing.T, shards int) string {
+	t.Helper()
+	dir := t.TempDir()
+	opts := smallOpts(shards)
+	opts.Dir = dir
+	eng, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, text := range synthTexts(71, 40, 25, 15) {
+		eng.AddDocument(text)
+	}
+	if _, err := eng.FlushBatch(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestOpenCorruptManifest pins the corrupt-manifest path: Open must fail
+// with a descriptive error naming the file, never panic, and never
+// misreport the index as fresh.
+func TestOpenCorruptManifest(t *testing.T) {
+	dir := persistDir(t, 2)
+	if err := os.WriteFile(manifest.Path(dir), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opts := smallOpts(0)
+	opts.Dir = dir
+	_, err := Open(opts)
+	if err == nil {
+		t.Fatal("Open accepted a corrupt manifest")
+	}
+	if !strings.Contains(err.Error(), "corrupt") || !strings.Contains(err.Error(), manifest.FileName) {
+		t.Errorf("corrupt-manifest error %q should name the file and the corruption", err)
+	}
+
+	// An invalid-but-parseable manifest is refused too.
+	if err := os.WriteFile(manifest.Path(dir), []byte(`{"version":1,"shards":0,"routing":"hash"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(opts); err == nil {
+		t.Error("Open accepted a manifest with zero shards")
+	}
+}
+
+// TestOpenPartialIndex pins the missing-shard path: a manifest that
+// promises shards whose files are gone must produce a descriptive error
+// instead of silently reopening the missing shard empty (which would lose
+// every document routed to it).
+func TestOpenPartialIndex(t *testing.T) {
+	dir := persistDir(t, 3)
+	if err := os.RemoveAll(filepath.Join(dir, "shard-1")); err != nil {
+		t.Fatal(err)
+	}
+	opts := smallOpts(0)
+	opts.Dir = dir
+	_, err := Open(opts)
+	if err == nil {
+		t.Fatal("Open accepted an index missing a shard directory")
+	}
+	for _, want := range []string{"partial", "shard 1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("partial-index error %q should mention %q", err, want)
+		}
+	}
+}
+
+// TestOpenLegacyLayoutUpgrade pins the upgrade path: a directory from
+// before manifests existed (detected by its layout) reopens fine and is
+// stamped with a hash-routing manifest in place.
+func TestOpenLegacyLayoutUpgrade(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		dir := persistDir(t, shards)
+		// Strip the manifest: this is exactly what a pre-manifest index
+		// directory looks like (flat files for one shard, shard-<i>
+		// subdirectories otherwise).
+		if err := os.Remove(manifest.Path(dir)); err != nil {
+			t.Fatal(err)
+		}
+		opts := smallOpts(0)
+		opts.Dir = dir
+		eng, err := Open(opts)
+		if err != nil {
+			t.Fatalf("legacy %d-shard layout: %v", shards, err)
+		}
+		if len(eng.shards) != shards {
+			t.Errorf("legacy %d-shard layout reopened with %d shards", shards, len(eng.shards))
+		}
+		if hits, err := eng.SearchBoolean("wa*"); err != nil || len(hits) == 0 {
+			t.Errorf("legacy %d-shard layout: query after upgrade: %v, %v", shards, hits, err)
+		}
+		if err := eng.Close(); err != nil {
+			t.Fatal(err)
+		}
+		m, err := manifest.Load(dir)
+		if err != nil {
+			t.Fatalf("legacy %d-shard layout not stamped: %v", shards, err)
+		}
+		if m.Shards != shards || m.Routing != route.KindHash {
+			t.Errorf("upgrade stamped %+v, want %d hash-routed shards", m, shards)
+		}
+
+		// Legacy indexes are hash-routed by construction; any other routing
+		// request is refused rather than silently misrouting reads.
+		if err := os.Remove(manifest.Path(dir)); err != nil {
+			t.Fatal(err)
+		}
+		opts.Routing = route.KindRange
+		if _, err := Open(opts); err == nil || !strings.Contains(err.Error(), "hash-routed") {
+			t.Errorf("legacy layout opened with range routing: err = %v", err)
+		}
+	}
+}
+
+// TestOpenManifestMismatch pins the reconcile errors: non-zero options that
+// contradict the manifest are refused with errors that name the recorded
+// value and the fix.
+func TestOpenManifestMismatch(t *testing.T) {
+	dir := persistDir(t, 2)
+
+	opts := smallOpts(4)
+	opts.Dir = dir
+	if _, err := Open(opts); err == nil || !strings.Contains(err.Error(), "holds a 2-shard index") {
+		t.Errorf("shard-count mismatch: err = %v", err)
+	}
+
+	opts = smallOpts(0)
+	opts.Dir = dir
+	opts.Routing = route.KindRoundRobin
+	if _, err := Open(opts); err == nil || !strings.Contains(err.Error(), "hash-routed") {
+		t.Errorf("routing mismatch: err = %v", err)
+	}
+}
+
+// TestOpenRangeSpanPersisted pins the range-routing manifest fields: the
+// span is recorded, adopted on reopen, and a contradictory span is refused.
+func TestOpenRangeSpanPersisted(t *testing.T) {
+	dir := t.TempDir()
+	opts := smallOpts(2)
+	opts.Dir = dir
+	opts.KeepDocuments = true
+	opts.Routing = route.KindRange
+	opts.RangeSpan = 64
+	eng, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	texts := synthTexts(73, 150, 25, 15)
+	buildCorpus(t, eng, texts)
+	want, err := eng.SearchBoolean("wa*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := manifest.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Routing != route.KindRange || m.RangeSpan != 64 {
+		t.Fatalf("manifest %+v, want range routing with span 64", m)
+	}
+
+	zero := opts
+	zero.Shards, zero.Routing, zero.RangeSpan = 0, "", 0
+	reopened, err := Open(zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if got := reopened.opts; got.Routing != route.KindRange || got.RangeSpan != 64 || got.Shards != 2 {
+		t.Errorf("adopted options %+v, want 2 range-routed shards with span 64", got)
+	}
+	got, err := reopened.SearchBoolean("wa*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(got, want) {
+		t.Errorf("range-routed reopen: got %v, want %v", got, want)
+	}
+
+	bad := opts
+	bad.RangeSpan = 128
+	if _, err := Open(bad); err == nil || !strings.Contains(err.Error(), "range span 64") {
+		t.Errorf("range-span mismatch: err = %v", err)
+	}
+}
+
+// TestOpenRoutingKinds opens a fresh index under every routing kind and
+// round-trips it through close/reopen — the non-default routers must
+// persist and answer queries like the hash default does.
+func TestOpenRoutingKinds(t *testing.T) {
+	texts := synthTexts(79, 100, 25, 15)
+	var want []DocID
+	for _, kind := range []string{route.KindHash, route.KindRange, route.KindRoundRobin} {
+		dir := t.TempDir()
+		opts := smallOpts(3)
+		opts.Dir = dir
+		opts.Routing = kind
+		eng, err := Open(opts)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		for _, text := range texts {
+			eng.AddDocument(text)
+		}
+		if _, err := eng.FlushBatch(); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.CheckConsistency(); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		hits, err := eng.SearchBoolean("wa*")
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if want == nil {
+			want = hits
+		} else if !slices.Equal(hits, want) {
+			// Routing decides placement, never visibility: every kind must
+			// answer identically.
+			t.Errorf("%s: got %v, want %v", kind, hits, want)
+		}
+		if err := eng.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		zero := opts
+		zero.Shards, zero.Routing = 0, ""
+		reopened, err := Open(zero)
+		if err != nil {
+			t.Fatalf("%s reopen: %v", kind, err)
+		}
+		if reopened.opts.Routing != kind {
+			t.Errorf("reopen adopted routing %q, want %q", reopened.opts.Routing, kind)
+		}
+		got, err := reopened.SearchBoolean("wa*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(got, want) {
+			t.Errorf("%s reopen: got %v, want %v", kind, got, want)
+		}
+		if err := reopened.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

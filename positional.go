@@ -19,6 +19,8 @@ import (
 // Options.KeepDocuments and returns ok=false for unknown or deleted
 // documents.
 func (e *Engine) Document(id DocID) (text string, ok bool, err error) {
+	e.stateMu.RLock()
+	defer e.stateMu.RUnlock()
 	return e.shardFor(id).document(id)
 }
 

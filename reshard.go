@@ -1,0 +1,268 @@
+package dualindex
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dualindex/internal/manifest"
+	"dualindex/internal/postings"
+	"dualindex/internal/route"
+)
+
+// reshardBatchDocs is how many documents a reshard migrates between flushes
+// of the staged shards — the migration reuses the engine's normal add/flush
+// batch path, so this is its batch size.
+const reshardBatchDocs = 1024
+
+// ReshardStats summarises one completed Engine.Reshard.
+type ReshardStats struct {
+	// FromShards and ToShards are the shard counts before and after.
+	FromShards, ToShards int
+	// Docs is how many live documents were migrated into the new layout.
+	Docs int
+	// Batches is how many flush batches the migration used.
+	Batches int
+	// Skipped counts logically deleted documents left behind — a reshard
+	// is also an implicit sweep, since only live documents are re-routed.
+	Skipped int
+	// Dur is the end-to-end wall-clock time, migration through commit.
+	Dur time.Duration
+}
+
+// Reshard changes a live index's shard count to n without a rebuild: every
+// live document is streamed out of the document store shard by shard,
+// re-routed through the index's router at the new count, and applied to a
+// staged set of new shards through the normal add/flush batch path. The
+// routing kind (and range span) are preserved; only the shard count
+// changes, and the index's manifest is rewritten as part of the commit.
+//
+// Reshard requires Options.KeepDocuments: the document store is the source
+// the new shards are built from. Logically deleted documents are not
+// migrated, so a reshard is also an implicit sweep.
+//
+// Concurrency: queries keep answering from the old shards for the whole
+// migration — the paper's 7×24 setting, no offline rebuild — while
+// mutators (AddDocument, Delete, FlushBatch, maintenance) block until the
+// reshard finishes. The commit at the end swaps the shard set under a
+// brief exclusive lock that drains in-flight queries.
+//
+// Crash safety (persistent engines): the new layout is staged under
+// Dir/.resharding/ and committed by an atomic rename to Dir/.reshard-commit/
+// followed by moving the staged entries into place and the rewritten
+// manifest last. A crash before the rename leaves a staging directory that
+// the next Open discards — the index is untouched. A crash after the
+// rename leaves a commit directory that the next Open rolls forward.
+func (e *Engine) Reshard(n int) (ReshardStats, error) {
+	e.reshardMu.Lock()
+	defer e.reshardMu.Unlock()
+
+	start := time.Now()
+	// No mutator is running (reshardMu) and no other reshard can swap the
+	// shard set, so e.shards and e.router are stable for the migration;
+	// queries share them concurrently but never modify them.
+	old := e.shards
+	st := ReshardStats{FromShards: len(old), ToShards: n}
+	if n < 1 {
+		return st, fmt.Errorf("dualindex: reshard to %d shards", n)
+	}
+	if n == len(old) {
+		return st, fmt.Errorf("dualindex: index already has %d shards", n)
+	}
+	for i, s := range old {
+		if s.docs == nil {
+			return st, fmt.Errorf("dualindex: reshard streams documents from the document store; Options.KeepDocuments is required")
+		}
+		if s.lastDoc > 0 && s.docs.Len() == 0 {
+			return st, fmt.Errorf("dualindex: shard %d has indexed documents but an empty document store; the index cannot be resharded", i)
+		}
+	}
+	// Flush pending batches first so the old shards are checkpointed and
+	// their document logs synced before their contents are re-routed.
+	if _, err := e.flushShardsLocked(); err != nil {
+		return st, fmt.Errorf("dualindex: pre-reshard flush: %w", err)
+	}
+
+	newRouter, err := route.New(e.opts.Routing, n, e.opts.RangeSpan)
+	if err != nil {
+		return st, fmt.Errorf("dualindex: %w", err)
+	}
+
+	// Stage the new shards: in a .resharding/ staging directory for
+	// persistent engines, in memory otherwise.
+	staging := ""
+	if e.opts.Dir != "" {
+		staging = filepath.Join(e.opts.Dir, reshardStagingName)
+		if err := os.RemoveAll(staging); err != nil {
+			return st, err
+		}
+	}
+	newOpts := e.opts
+	newOpts.Shards = n
+	newShards := make([]*shard, n)
+	discard := func() {
+		for _, s := range newShards {
+			if s != nil {
+				s.close()
+			}
+		}
+		if staging != "" {
+			os.RemoveAll(staging)
+		}
+	}
+	for i := range newShards {
+		s, err := openShard(newOpts, shardDir(staging, i, n))
+		if err != nil {
+			discard()
+			return st, fmt.Errorf("dualindex: staging shard %d: %w", i, err)
+		}
+		s.obs = e.obs.shardObs(i)
+		newShards[i] = s
+	}
+
+	// Stream every live document into the staged layout in ascending
+	// document-id order — not shard by shard: each staged shard's postings
+	// must see monotonically increasing ids across flush batches (the
+	// index's append invariant), and only the global id order guarantees
+	// that. The old router knows which shard holds each id, so the stream
+	// is a sequence of per-document fetches, flushed every
+	// reshardBatchDocs documents.
+	var lastDoc postings.DocID
+	for _, s := range old {
+		s.mu.RLock()
+		if s.lastDoc > lastDoc {
+			lastDoc = s.lastDoc
+		}
+		s.mu.RUnlock()
+	}
+	streamStart := e.obs.now()
+	pending := 0
+	flushStaged := func() error {
+		for _, s := range newShards {
+			if _, err := s.flushBatch(); err != nil {
+				return err
+			}
+		}
+		st.Batches++
+		pending = 0
+		return nil
+	}
+	for id := postings.DocID(1); id <= lastDoc; id++ {
+		s := old[e.router.Shard(id)]
+		s.mu.RLock()
+		if s.index.IsDeleted(id) {
+			s.mu.RUnlock()
+			st.Skipped++
+			continue
+		}
+		text, ok, err := s.docs.Get(id)
+		s.mu.RUnlock()
+		if err != nil {
+			discard()
+			return st, fmt.Errorf("dualindex: reading document %d: %w", id, err)
+		}
+		if !ok {
+			// Deleted and already compacted out of the store: nothing left
+			// to migrate.
+			st.Skipped++
+			continue
+		}
+		t := newShards[newRouter.Shard(id)]
+		t.mu.Lock()
+		t.addDocumentLocked(id, text)
+		t.mu.Unlock()
+		st.Docs++
+		pending++
+		if pending >= reshardBatchDocs {
+			if err := flushStaged(); err != nil {
+				discard()
+				return st, fmt.Errorf("dualindex: migration flush: %w", err)
+			}
+		}
+	}
+	if pending > 0 {
+		if err := flushStaged(); err != nil {
+			discard()
+			return st, fmt.Errorf("dualindex: final migration flush: %w", err)
+		}
+	}
+	e.obs.observeReshardStream(st.Docs, st.Skipped, streamStart)
+
+	// Commit: install the staged shards as the engine's shard set. The
+	// exclusive state lock drains in-flight queries; they resume against
+	// the new shards.
+	if e.opts.Dir == "" {
+		e.stateMu.Lock()
+		e.shards, e.router, e.opts.Shards = newShards, newRouter, n
+		e.stateMu.Unlock()
+		for _, s := range old {
+			s.close()
+		}
+	} else {
+		// Persist the staged layout: manifest into staging, shards closed
+		// (saving their vocabularies), then the atomic rename that is the
+		// commit point, then the roll-forward that moves entries into
+		// place — the same roll-forward Open runs after a crash.
+		if err := manifest.Save(staging, manifestFor(newOpts)); err != nil {
+			discard()
+			return st, fmt.Errorf("dualindex: staging manifest: %w", err)
+		}
+		for _, s := range newShards {
+			if err := s.close(); err != nil {
+				discard()
+				return st, fmt.Errorf("dualindex: closing staged shard: %w", err)
+			}
+		}
+		e.stateMu.Lock()
+		for _, s := range old {
+			s.close()
+		}
+		if err := os.Rename(staging, filepath.Join(e.opts.Dir, reshardCommitName)); err != nil {
+			os.RemoveAll(staging)
+			err = e.reshardFailedLocked(fmt.Errorf("dualindex: reshard commit rename: %w", err))
+			e.stateMu.Unlock()
+			return st, err
+		}
+		if err := finishReshardCommit(e.opts.Dir); err != nil {
+			err = e.reshardFailedLocked(fmt.Errorf("dualindex: reshard commit: %w", err))
+			e.stateMu.Unlock()
+			return st, err
+		}
+		// Reopen the committed shards from their final locations.
+		reopened := make([]*shard, n)
+		for i := range reopened {
+			s, err := openShard(newOpts, shardDir(e.opts.Dir, i, n))
+			if err != nil {
+				for _, prev := range reopened {
+					if prev != nil {
+						prev.close()
+					}
+				}
+				err = e.reshardFailedLocked(fmt.Errorf("dualindex: reopening shard %d after reshard: %w", i, err))
+				e.stateMu.Unlock()
+				return st, err
+			}
+			s.obs = e.obs.shardObs(i)
+			reopened[i] = s
+		}
+		e.shards, e.router, e.opts.Shards = reopened, newRouter, n
+		e.stateMu.Unlock()
+	}
+	e.registerShardFuncs()
+	st.ToShards = n
+	st.Dur = time.Since(start)
+	e.obs.observeReshard(start, st)
+	return st, nil
+}
+
+// reshardFailedLocked puts the engine into a closed state after a
+// commit-phase failure: the old shards are already closed and the
+// directory may be mid-commit, so serving from stale shard handles would
+// be wrong. The on-disk index is still recoverable — the commit either
+// never happened (old layout intact) or rolls forward on the next Open.
+// Caller holds e.stateMu.Lock.
+func (e *Engine) reshardFailedLocked(err error) error {
+	e.shards, e.router = nil, route.Hash{N: 1}
+	return fmt.Errorf("%w; the engine is closed — reopen the index with Open, which recovers the directory", err)
+}

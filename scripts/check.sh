@@ -16,10 +16,11 @@ echo '== go build ./...'
 go build ./...
 echo '== go vet ./...'
 go vet ./...
-# The observability packages are leaf packages nothing in ./... depended on
-# when they were first added; vet them by name so a stray exclusion in the
-# wildcard can never silently skip them.
-echo '== go vet (observability packages)'
-go vet ./internal/metrics/ ./internal/trace/ ./internal/obshttp/
+# Leaf packages nothing in ./... depended on when they were first added
+# (observability, routing, manifest); vet them by name so a stray exclusion
+# in the wildcard can never silently skip them.
+echo '== go vet (leaf packages)'
+go vet ./internal/metrics/ ./internal/trace/ ./internal/obshttp/ \
+	./internal/route/ ./internal/manifest/
 echo '== go test -race ./...'
 go test -race ./...

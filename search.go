@@ -69,6 +69,8 @@ func (e *Engine) SearchVector(text string, k int) ([]Match, error) {
 // paper's query-performance metric (1 chunk = 1 read; bucket words are in
 // memory) — summed over the shards holding pieces of the word's list.
 func (e *Engine) ReadCost(word string) int {
+	e.stateMu.RLock()
+	defer e.stateMu.RUnlock()
 	n := 0
 	for _, s := range e.shards {
 		n += s.readCost(word)

@@ -14,6 +14,7 @@ import (
 	"dualindex/internal/lexer"
 	"dualindex/internal/longlist"
 	"dualindex/internal/postings"
+	"dualindex/internal/route"
 	"dualindex/internal/vocab"
 )
 
@@ -486,9 +487,10 @@ func TestFlushBatchAggregatesShards(t *testing.T) {
 
 	texts := synthTexts(17, 40, 30, 20)
 	perShard := make([]int, 4)
+	router := route.Hash{N: 4}
 	for i, text := range texts {
 		doc := eng.AddDocument(text)
-		perShard[shardIndex(doc, 4)]++
+		perShard[router.Shard(doc)]++
 		_ = i
 	}
 	st, err := eng.FlushBatch()
@@ -540,14 +542,15 @@ func TestFlushBatchAggregatesShards(t *testing.T) {
 // not grossly unbalanced.
 func TestShardRouterStable(t *testing.T) {
 	for doc := DocID(1); doc <= 100; doc++ {
-		if shardIndex(doc, 1) != 0 {
+		if (route.Hash{N: 1}).Shard(doc) != 0 {
 			t.Fatalf("single shard routing for doc %d", doc)
 		}
 	}
 	counts := make([]int, 4)
+	four := route.Hash{N: 4}
 	for doc := DocID(1); doc <= 400; doc++ {
-		i := shardIndex(doc, 4)
-		if i != shardIndex(doc, 4) {
+		i := four.Shard(doc)
+		if i != four.Shard(doc) {
 			t.Fatalf("unstable routing for doc %d", doc)
 		}
 		if i < 0 || i >= 4 {

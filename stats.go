@@ -137,6 +137,8 @@ func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	docs := int64(e.nextDoc)
 	e.mu.Unlock()
+	e.stateMu.RLock()
+	defer e.stateMu.RUnlock()
 	if len(e.shards) == 1 {
 		// Exactly the single shard's numbers — no aggregation arithmetic, so
 		// the unsharded engine's Stats are reproduced bit for bit.
@@ -185,6 +187,8 @@ func (e *Engine) Stats() Stats {
 // Every shard's bucket space has the same capacity, so the sharded figure
 // is the mean of the per-shard load factors.
 func (e *Engine) BucketLoadFactor() float64 {
+	e.stateMu.RLock()
+	defer e.stateMu.RUnlock()
 	if len(e.shards) == 1 {
 		return e.shards[0].bucketLoadFactor()
 	}
