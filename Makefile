@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the gate a change must pass.
 
-.PHONY: check build test race bench bench-shard bench-observe bench-reshard
+.PHONY: check build test race bench bench-shard bench-observe bench-reshard bench-compress
 
 check:
 	./scripts/check.sh
@@ -33,3 +33,9 @@ bench-observe:
 # on-disk reshards, written to BENCH_reshard.json.
 bench-reshard:
 	go test -run '^TestReshardBenchReport$$' -count=1 -v .
+
+# Compression matrix: flush and query time plus blocks moved for every
+# backend × codec cell of {sim, file} × {raw, varint, golomb}, written to
+# BENCH_compress.json. Gate: compressed cells move fewer blocks than raw.
+bench-compress:
+	go test -run '^TestCompressBenchReport$$' -count=1 -v .

@@ -1,0 +1,204 @@
+// Benchmarks for the compression layer: batch-flush and query time for every
+// backend × codec cell of {sim, file} × {raw, varint, golomb} over the same
+// corpus, plus the I/O volume (blocks read and written, which is
+// deterministic) and the achieved compression ratio per cell.
+// TestCompressBenchReport writes the matrix to BENCH_compress.json and pins
+// the point of the codec layer: compressed long lists must move fewer blocks
+// than raw ones, on the flush path and on the query path.
+package dualindex
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// benchCompressOpts is one cell's configuration. dir is empty for the sim
+// backend and a scratch directory for the file backend.
+func benchCompressOpts(backend, codec, dir string) Options {
+	return Options{
+		Dir:           dir,
+		Backend:       backend,
+		Codec:         codec,
+		Buckets:       64,
+		BucketSize:    128, // small buckets: the corpus spills into long lists
+		NumDisks:      4,
+		BlocksPerDisk: 65536,
+		BlockSize:     512,
+	}
+}
+
+var benchCompressCorpus = synthTexts(97, 400, 120, 40)
+
+// benchCompressBooleans is the query workload, shared with the shard bench.
+var benchCompressBooleans = []string{
+	"waa and wab",
+	"wac or (wad and not wae)",
+	"wa* and not waa",
+	"(waf or wag) and (wah or wai)",
+}
+
+const benchCompressVector = "waa wab wac wad wae waf wag wah wai waj wak wal wam wan wao wap"
+
+// loadCompressCorpus feeds the corpus in four batches, so long lists grow
+// incrementally — in-place tail updates and chunk growth, not one bulk load.
+func loadCompressCorpus(tb testing.TB, eng *Engine) {
+	tb.Helper()
+	for j, text := range benchCompressCorpus {
+		eng.AddDocument(text)
+		if (j+1)%100 == 0 {
+			if _, err := eng.FlushBatch(); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchCompressFlush measures the incremental build (four batch flushes) for
+// one cell; engine setup and teardown are untimed.
+func benchCompressFlush(b *testing.B, backend, codec string) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := ""
+		if backend == BackendFile {
+			dir = b.TempDir()
+		}
+		eng, err := Open(benchCompressOpts(backend, codec, dir))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		loadCompressCorpus(b, eng)
+		b.StopTimer()
+		if err := eng.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// benchCompressQuery measures the mixed query workload against a pre-loaded
+// engine for one cell.
+func benchCompressQuery(b *testing.B, backend, codec string) {
+	dir := ""
+	if backend == BackendFile {
+		dir = b.TempDir()
+	}
+	eng, err := Open(benchCompressOpts(backend, codec, dir))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	loadCompressCorpus(b, eng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range benchCompressBooleans {
+			if _, err := eng.SearchBoolean(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := eng.SearchVector(benchCompressVector, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// compressPoint is one cell of BENCH_compress.json.
+type compressPoint struct {
+	FlushNsOp         int64   `json:"flush_ns_op"`
+	QueryNsOp         int64   `json:"query_ns_op"`
+	FlushBlocksRead   int64   `json:"flush_blocks_read"`
+	FlushBlocksWrite  int64   `json:"flush_blocks_written"`
+	QueryBlocksRead   int64   `json:"query_blocks_read"`
+	CodecRawBytes     int64   `json:"codec_raw_bytes"`
+	CodecEncodedBytes int64   `json:"codec_encoded_bytes"`
+	CompressionRatio  float64 `json:"compression_ratio"`
+}
+
+// measureCompressBlocks builds one cell's index once and reads the
+// deterministic counters: blocks moved by the build, blocks read by one pass
+// of the query workload, and the codec's byte totals.
+func measureCompressBlocks(t *testing.T, backend, codec string) compressPoint {
+	t.Helper()
+	dir := ""
+	if backend == BackendFile {
+		dir = t.TempDir()
+	}
+	eng, err := Open(benchCompressOpts(backend, codec, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	loadCompressCorpus(t, eng)
+	built := eng.Stats()
+	for _, q := range benchCompressBooleans {
+		if _, err := eng.SearchBoolean(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := eng.SearchVector(benchCompressVector, 10); err != nil {
+		t.Fatal(err)
+	}
+	queried := eng.Stats()
+	return compressPoint{
+		FlushBlocksRead:   built.ReadBlocks,
+		FlushBlocksWrite:  built.WriteBlocks,
+		QueryBlocksRead:   queried.ReadBlocks - built.ReadBlocks,
+		CodecRawBytes:     queried.CodecRawBytes,
+		CodecEncodedBytes: queried.CodecEncodedBytes,
+		CompressionRatio:  queried.CompressionRatio,
+	}
+}
+
+// TestCompressBenchReport measures every backend × codec cell and writes
+// BENCH_compress.json. Skipped under -short.
+func TestCompressBenchReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark harness skipped in -short mode")
+	}
+	points := map[string]*compressPoint{}
+	for _, backend := range []string{BackendSim, BackendFile} {
+		for _, codec := range []string{CodecRaw, CodecVarint, CodecGolomb} {
+			backend, codec := backend, codec
+			key := backend + "/" + codec
+			p := measureCompressBlocks(t, backend, codec)
+			p.FlushNsOp = testing.Benchmark(func(b *testing.B) { benchCompressFlush(b, backend, codec) }).NsPerOp()
+			p.QueryNsOp = testing.Benchmark(func(b *testing.B) { benchCompressQuery(b, backend, codec) }).NsPerOp()
+			points[key] = &p
+			t.Logf("%-12s flush %8.2fms query %8.2fms  flush w=%6d r=%6d blocks, query r=%5d blocks, ratio %.2f",
+				key, float64(p.FlushNsOp)/1e6, float64(p.QueryNsOp)/1e6,
+				p.FlushBlocksWrite, p.FlushBlocksRead, p.QueryBlocksRead, p.CompressionRatio)
+		}
+	}
+
+	out, err := json.MarshalIndent(map[string]any{"points": points}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_compress.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The codec layer's reason to exist: for each backend, a compressed
+	// index must move fewer blocks than the raw one — writing on the flush
+	// path and reading on the query path — and actually compress.
+	for _, backend := range []string{BackendSim, BackendFile} {
+		raw := points[backend+"/"+CodecRaw]
+		for _, codec := range []string{CodecVarint, CodecGolomb} {
+			p := points[backend+"/"+codec]
+			cell := fmt.Sprintf("%s/%s", backend, codec)
+			if p.FlushBlocksWrite >= raw.FlushBlocksWrite {
+				t.Errorf("%s wrote %d blocks flushing, raw wrote %d — compression moved no fewer blocks",
+					cell, p.FlushBlocksWrite, raw.FlushBlocksWrite)
+			}
+			if p.QueryBlocksRead >= raw.QueryBlocksRead {
+				t.Errorf("%s read %d blocks querying, raw read %d — compression moved no fewer blocks",
+					cell, p.QueryBlocksRead, raw.QueryBlocksRead)
+			}
+			if p.CompressionRatio <= 1 {
+				t.Errorf("%s compression ratio %.2f, want > 1", cell, p.CompressionRatio)
+			}
+		}
+	}
+}

@@ -36,6 +36,9 @@ func main() {
 		bsize     = flag.Int("bucketsize", 8192, "bucket size in word+posting units")
 		shards    = flag.Int("shards", 0, "index shards for a fresh index (0 adopts an existing index's manifest)")
 		routing   = flag.String("routing", "", "document routing for a fresh index: hash | range | round-robin (empty adopts the manifest, hash for a fresh index)")
+		backend   = flag.String("backend", "", "block-store backend: file (empty adopts the manifest; file is the only persistent backend)")
+		codec     = flag.String("codec", "", "long-list block codec for a fresh index: raw | varint | golomb (empty adopts the manifest, raw for a fresh index)")
+		mmapReads = flag.Bool("mmap", false, "serve file-backend reads through a shared mmap where supported")
 		keepDocs  = flag.Bool("keepdocs", false, "keep document text in the index (required for -reshard and positional queries)")
 		reshard   = flag.Int("reshard", 0, "reshard the existing index to this many shards and exit (requires an index built with -keepdocs)")
 		check     = flag.Bool("check", true, "run the consistency check after the build")
@@ -48,9 +51,16 @@ func main() {
 		}
 		return
 	}
-	if err := run(*corpusDir, *indexDir, *policy, *buckets, *bsize, *shards, *routing, *keepDocs, *check, *metrics); err != nil {
+	storage := storageOpts{backend: *backend, codec: *codec, mmap: *mmapReads}
+	if err := run(*corpusDir, *indexDir, *policy, *buckets, *bsize, *shards, *routing, storage, *keepDocs, *check, *metrics); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// storageOpts groups the backend/codec flags on their way into Options.
+type storageOpts struct {
+	backend, codec string
+	mmap           bool
 }
 
 // runReshard opens an existing index (adopting its manifest) and migrates it
@@ -106,7 +116,7 @@ func policyByName(name string) (dualindex.Policy, error) {
 	return dualindex.Policy{}, fmt.Errorf("unknown policy %q", name)
 }
 
-func run(corpusDir, indexDir, policyName string, buckets, bucketSize, shards int, routing string, keepDocs, check bool, metricsAddr string) error {
+func run(corpusDir, indexDir, policyName string, buckets, bucketSize, shards int, routing string, storage storageOpts, keepDocs, check bool, metricsAddr string) error {
 	pol, err := policyByName(policyName)
 	if err != nil {
 		return err
@@ -124,6 +134,9 @@ func run(corpusDir, indexDir, policyName string, buckets, bucketSize, shards int
 		Dir:           indexDir,
 		Shards:        shards,
 		Routing:       routing,
+		Backend:       storage.backend,
+		Codec:         storage.codec,
+		MmapReads:     storage.mmap,
 		KeepDocuments: keepDocs,
 		Policy:        &pol,
 		Buckets:       buckets,
@@ -172,6 +185,12 @@ func run(corpusDir, indexDir, policyName string, buckets, bucketSize, shards int
 		s.Docs, s.Words, s.LongLists, s.BucketWords)
 	fmt.Printf("long-list utilization %.2f, avg reads per long list %.2f\n",
 		s.Utilization, s.AvgReadsPerList)
+	fmt.Printf("i/o: %d read ops (%d blocks), %d write ops (%d blocks)\n",
+		s.ReadOps, s.ReadBlocks, s.WriteOps, s.WriteBlocks)
+	if s.CodecEncodedBytes > 0 {
+		fmt.Printf("codec: %d raw bytes packed into %d (compression ratio %.2f)\n",
+			s.CodecRawBytes, s.CodecEncodedBytes, s.CompressionRatio)
+	}
 	if check {
 		if err := eng.CheckConsistency(); err != nil {
 			return fmt.Errorf("consistency check FAILED: %w", err)

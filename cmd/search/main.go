@@ -32,6 +32,9 @@ func main() {
 		near     = flag.Int("near", 0, "proximity window: treat the two query words as 'w1 within N words of w2'")
 		docs     = flag.Bool("docs", false, "keep/load stored documents (enables -phrase and -near)")
 		shards   = flag.Int("shards", 0, "index shards (0 adopts the index's manifest — the usual choice)")
+		backend  = flag.String("backend", "", "block-store backend (empty adopts the index's manifest — the usual choice)")
+		codec    = flag.String("codec", "", "long-list block codec (empty adopts the index's manifest — the usual choice)")
+		mmap     = flag.Bool("mmap", false, "serve file-backend reads through a shared mmap where supported")
 		metrics  = flag.String("metrics", "", "serve /metrics, /stats, /trace and /debug/pprof on this address (e.g. localhost:6060); enables instrumentation")
 		slow     = flag.Duration("slow", 0, "log queries slower than this duration (view on the -metrics endpoint's /slow)")
 	)
@@ -40,6 +43,9 @@ func main() {
 	opts := dualindex.Options{
 		Dir:           *indexDir,
 		Shards:        *shards,
+		Backend:       *backend,
+		Codec:         *codec,
+		MmapReads:     *mmap,
 		KeepDocuments: *docs || *phrase || *near > 0,
 		SlowQuery:     *slow,
 	}

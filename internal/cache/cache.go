@@ -39,36 +39,43 @@ type key struct {
 
 type entry struct {
 	key  key
-	data []byte // exactly one block
+	data []byte // the block with trailing zero padding stripped
+	cost int64  // bytes charged against the budget (>= 1)
 }
 
-// Store is a disk.BlockStore that caches up to a fixed number of blocks of
-// its inner store with LRU replacement. Reads are served from the cache
-// when resident and fill it when not; writes go through to the inner store
-// and update resident blocks in place (write-through, no write-allocate),
-// so the cache never holds data the store does not. Safe for concurrent
-// use.
+// Store is a disk.BlockStore that caches blocks of its inner store with LRU
+// replacement under a byte budget of capacity × blockSize. Each resident
+// block is charged its actual encoded size — its length after trailing zero
+// padding is stripped — so compressed blocks cost what they hold and
+// Options.CacheBlocks bounds real memory, not a block count. Reads are
+// served from the cache when resident and fill it when not; writes go
+// through to the inner store and update resident blocks (write-through, no
+// write-allocate), so the cache never holds data the store does not. Safe
+// for concurrent use.
 type Store struct {
 	inner     disk.BlockStore
 	blockSize int
-	capacity  int
+	budget    int64 // byte budget: capacity blocks × blockSize
 
 	mu      sync.Mutex
 	lru     *list.List // front = most recent; values are *entry
 	entries map[key]*list.Element
+	bytes   int64 // charged bytes of all resident entries
 
 	hits, misses, evictions atomic.Int64
 }
 
 var _ disk.BlockStore = (*Store)(nil)
 
-// New wraps inner with an LRU cache of capacity blocks of blockSize bytes.
-// capacity <= 0 disables caching (every read and write passes through).
+// New wraps inner with an LRU cache budgeted at capacity blocks of blockSize
+// bytes (compressed blocks are charged their encoded size, so more than
+// capacity of them may be resident). capacity <= 0 disables caching (every
+// read and write passes through).
 func New(inner disk.BlockStore, blockSize, capacity int) *Store {
 	return &Store{
 		inner:     inner,
 		blockSize: blockSize,
-		capacity:  capacity,
+		budget:    int64(capacity) * int64(blockSize),
 		lru:       list.New(),
 		entries:   make(map[key]*list.Element),
 	}
@@ -90,11 +97,18 @@ func (s *Store) Len() int {
 	return s.lru.Len()
 }
 
+// Bytes reports the encoded bytes currently charged against the budget.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
 // ReadAt implements disk.BlockStore. The run [block, block+n) is served
 // block by block from the cache; any missing suffix-contiguous span is
 // fetched from the inner store in one call and inserted.
 func (s *Store) ReadAt(d int, block int64, buf []byte) error {
-	if s.capacity <= 0 {
+	if s.budget <= 0 {
 		return s.inner.ReadAt(d, block, buf)
 	}
 	n := len(buf) / s.blockSize
@@ -105,7 +119,9 @@ func (s *Store) ReadAt(d int, block int64, buf []byte) error {
 		k := key{d, block + int64(i)}
 		if el, ok := s.entries[k]; ok {
 			s.lru.MoveToFront(el)
-			copy(buf[i*s.blockSize:(i+1)*s.blockSize], el.Value.(*entry).data)
+			dst := buf[i*s.blockSize : (i+1)*s.blockSize]
+			m := copy(dst, el.Value.(*entry).data)
+			clear(dst[m:]) // restore the stripped zero padding
 		} else {
 			missing = append(missing, i)
 		}
@@ -143,38 +159,70 @@ func (s *Store) WriteAt(d int, block int64, buf []byte) error {
 	if err := s.inner.WriteAt(d, block, buf); err != nil {
 		return err
 	}
-	if s.capacity <= 0 {
+	if s.budget <= 0 {
 		return nil
 	}
 	n := len(buf) / s.blockSize
 	s.mu.Lock()
 	for i := 0; i < n; i++ {
-		if el, ok := s.entries[key{d, block + int64(i)}]; ok {
-			copy(el.Value.(*entry).data, buf[i*s.blockSize:(i+1)*s.blockSize])
-			s.lru.MoveToFront(el)
+		if _, ok := s.entries[key{d, block + int64(i)}]; ok {
+			// Re-insert so the charged cost tracks the new encoded size.
+			s.insertLocked(key{d, block + int64(i)}, buf[i*s.blockSize:(i+1)*s.blockSize])
 		}
 	}
 	s.mu.Unlock()
 	return nil
 }
 
-// insertLocked adds (or refreshes) one block, evicting from the LRU tail.
+// cost is the budget charge for one block: its length with trailing zero
+// padding stripped, floored at 1 so all-zero blocks still pay for their
+// bookkeeping.
+func blockCost(data []byte) int {
+	n := len(data)
+	for n > 0 && data[n-1] == 0 {
+		n--
+	}
+	return max(n, 1)
+}
+
+// insertLocked adds (or refreshes) one block, storing only its encoded
+// prefix and evicting from the LRU tail while the byte budget is exceeded.
 // Caller holds s.mu.
 func (s *Store) insertLocked(k key, data []byte) {
+	c := blockCost(data)
+	trim := make([]byte, c)
+	copy(trim, data[:min(c, len(data))])
 	if el, ok := s.entries[k]; ok {
-		copy(el.Value.(*entry).data, data)
+		e := el.Value.(*entry)
+		s.bytes += int64(c) - e.cost
+		e.data, e.cost = trim, int64(c)
 		s.lru.MoveToFront(el)
+		s.evictOverLocked(el)
 		return
 	}
-	for s.lru.Len() >= s.capacity {
+	if int64(c) > s.budget {
+		return // larger than the whole budget: never cacheable
+	}
+	s.bytes += int64(c)
+	el := s.lru.PushFront(&entry{key: k, data: trim, cost: int64(c)})
+	s.entries[k] = el
+	s.evictOverLocked(el)
+}
+
+// evictOverLocked drops LRU-tail entries (never keep itself) until the
+// charged bytes fit the budget. Caller holds s.mu.
+func (s *Store) evictOverLocked(keep *list.Element) {
+	for s.bytes > s.budget {
 		tail := s.lru.Back()
+		if tail == nil || tail == keep {
+			return
+		}
 		s.lru.Remove(tail)
-		delete(s.entries, tail.Value.(*entry).key)
+		e := tail.Value.(*entry)
+		delete(s.entries, e.key)
+		s.bytes -= e.cost
 		s.evictions.Add(1)
 	}
-	block := make([]byte, s.blockSize)
-	copy(block, data)
-	s.entries[k] = s.lru.PushFront(&entry{key: k, data: block})
 }
 
 // Sync implements disk.BlockStore.

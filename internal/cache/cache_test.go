@@ -107,6 +107,76 @@ func TestLRUEviction(t *testing.T) {
 	}
 }
 
+func TestCompressedBlocksChargedEncodedSize(t *testing.T) {
+	// A compressed block is mostly trailing zero padding; the cache must
+	// charge only the encoded prefix, so far more than `capacity` such
+	// blocks stay resident while total bytes remain within the budget.
+	inner := disk.NewMemStore(1, blockSize)
+	c := New(inner, blockSize, 4) // budget: 4 × 256 = 1024 bytes
+	const encoded = 32            // payload per block; rest is padding
+	for b := int64(0); b < 16; b++ {
+		buf := make([]byte, blockSize)
+		for i := 0; i < encoded; i++ {
+			buf[i] = byte(b + 1)
+		}
+		if err := inner.WriteAt(0, b, buf); err != nil {
+			t.Fatal(err)
+		}
+		readBlock(t, c, 0, b)
+	}
+	if got := c.Len(); got != 16 {
+		t.Fatalf("cache holds %d compressed blocks, want all 16", got)
+	}
+	if got := c.Bytes(); got != 16*encoded {
+		t.Fatalf("charged %d bytes, want %d", got, 16*encoded)
+	}
+	if st := c.Stats(); st.Evictions != 0 {
+		t.Fatalf("evictions = %d, want 0 within budget", st.Evictions)
+	}
+	// All 16 still serve hits, with the padding restored on the way out.
+	base := c.Stats()
+	for b := int64(0); b < 16; b++ {
+		got := readBlock(t, c, 0, b)
+		if got[0] != byte(b+1) || got[encoded-1] != byte(b+1) {
+			t.Fatalf("block %d payload corrupted", b)
+		}
+		for i := encoded; i < blockSize; i++ {
+			if got[i] != 0 {
+				t.Fatalf("block %d: padding byte %d = %#x", b, i, got[i])
+			}
+		}
+	}
+	if st := c.Stats(); st.Hits-base.Hits != 16 {
+		t.Fatalf("hits delta %d, want 16", st.Hits-base.Hits)
+	}
+
+	// Full (incompressible) blocks pay full price: pushing four of them
+	// through a 4-block budget evicts every small block.
+	for b := int64(20); b < 24; b++ {
+		fill(t, inner, 0, b, 0xEE, 1)
+		readBlock(t, c, 0, b)
+	}
+	if got := c.Len(); got != 4 {
+		t.Fatalf("cache holds %d blocks after full-size reads, want 4", got)
+	}
+	if got := c.Bytes(); got != 4*blockSize {
+		t.Fatalf("charged %d bytes, want %d", got, 4*blockSize)
+	}
+
+	// A write that shrinks a resident block's payload releases budget.
+	shrunk := make([]byte, blockSize)
+	shrunk[0] = 0x77
+	if err := c.WriteAt(0, 20, shrunk); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Bytes(); got != 3*blockSize+1 {
+		t.Fatalf("charged %d bytes after shrink, want %d", got, 3*blockSize+1)
+	}
+	if got := readBlock(t, c, 0, 20); got[0] != 0x77 || got[1] != 0 {
+		t.Fatalf("shrunk block served wrong data: %#x %#x", got[0], got[1])
+	}
+}
+
 func TestWriteThroughUpdatesResident(t *testing.T) {
 	inner := disk.NewMemStore(1, blockSize)
 	c := New(inner, blockSize, 8)

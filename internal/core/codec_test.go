@@ -1,0 +1,262 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dualindex/internal/disk"
+	"dualindex/internal/longlist"
+	"dualindex/internal/postings"
+)
+
+// codecConfig is storeConfig with a compressing codec; the shared MemStore
+// lets tests close and reopen.
+func codecConfig(id postings.CodecID, ms *disk.MemStore) Config {
+	cfg := storeConfig()
+	cfg.Store = ms
+	cfg.Codec = id
+	return cfg
+}
+
+func codecStore() *disk.MemStore { return disk.NewMemStore(2, 256) }
+
+// codecBatches deterministically builds update batches that exercise every
+// path: bucket fills, evictions to long lists, repeated long-word appends
+// (in-place and overflowing).
+func codecBatches(seed int64, batches int) [][]WordUpdate {
+	rng := rand.New(rand.NewSource(seed))
+	nextDoc := postings.DocID(0)
+	out := make([][]WordUpdate, batches)
+	for b := range out {
+		var us []WordUpdate
+		// A handful of hot words with big updates (long lists, appends).
+		for w := postings.WordID(0); w < 5; w++ {
+			n := 40 + rng.Intn(200)
+			docs := make([]postings.DocID, n)
+			for i := range docs {
+				docs[i] = nextDoc
+				nextDoc++
+			}
+			us = append(us, upd(w, docs...))
+		}
+		// Warm words with small updates (in-place candidates once long).
+		for w := postings.WordID(10); w < 25; w++ {
+			n := 1 + rng.Intn(6)
+			docs := make([]postings.DocID, n)
+			for i := range docs {
+				docs[i] = nextDoc
+				nextDoc++
+			}
+			us = append(us, upd(w, docs...))
+		}
+		out[b] = us
+	}
+	return out
+}
+
+func eachCoreCodec(t *testing.T, f func(t *testing.T, id postings.CodecID)) {
+	for _, id := range []postings.CodecID{postings.CodecVarint, postings.CodecGolomb} {
+		t.Run(id.String(), func(t *testing.T) { f(t, id) })
+	}
+}
+
+func eachCodecPolicy(t *testing.T, f func(t *testing.T, id postings.CodecID, p longlist.Policy)) {
+	eachCoreCodec(t, func(t *testing.T, id postings.CodecID) {
+		policies := map[string]longlist.Policy{
+			"whole-rec": longlist.NewRecommended(),
+			"new":       {Style: longlist.StyleNew, Alloc: longlist.AllocConstant, K: 50, Limit: longlist.LimitZ},
+			"fill":      {Style: longlist.StyleFill, Alloc: longlist.AllocConstant, ExtentBlocks: 2},
+			"adaptive":  {Style: longlist.StyleWhole, Alloc: longlist.AllocAdaptive, K: 2, Limit: longlist.LimitZ},
+		}
+		for name, p := range policies {
+			t.Run(name, func(t *testing.T) { f(t, id, p) })
+		}
+	})
+}
+
+// TestCodecMatchesRaw runs the same batches through a raw index and a
+// codec index and requires identical query results, a consistent structure,
+// and less long-list write traffic for the codec.
+func TestCodecMatchesRaw(t *testing.T) {
+	eachCodecPolicy(t, func(t *testing.T, id postings.CodecID, p longlist.Policy) {
+		batches := codecBatches(42, 6)
+
+		raw := storeConfig()
+		raw.Policy = p
+		rawIx, err := New(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc := codecConfig(id, codecStore())
+		cc.Policy = p
+		encIx, err := New(cc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, us := range batches {
+			if _, err := rawIx.ApplyUpdate(us); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := encIx.ApplyUpdate(us); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := encIx.CheckConsistency(); err != nil {
+			t.Fatalf("codec index inconsistent: %v", err)
+		}
+		for w := postings.WordID(0); w < 30; w++ {
+			a, err := rawIx.GetList(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := encIx.GetList(w)
+			if err != nil {
+				t.Fatalf("codec GetList(%d): %v", w, err)
+			}
+			if !postings.Equal(a, b) {
+				t.Fatalf("word %d: codec list differs from raw", w)
+			}
+		}
+		if rawIx.Directory().NumWords() == 0 {
+			t.Fatal("corpus built no long lists; test is vacuous")
+		}
+		rawBlocks := rawIx.Directory().TotalBlocks()
+		encBlocks := encIx.Directory().TotalBlocks()
+		if encBlocks >= rawBlocks {
+			t.Errorf("codec %v allocates %d blocks, raw %d — no win", id, encBlocks, rawBlocks)
+		}
+	})
+}
+
+// TestCodecRestart checkpoints a codec index, reopens it from the store, and
+// requires the restored index to answer identically and keep updating.
+func TestCodecRestart(t *testing.T) {
+	eachCoreCodec(t, func(t *testing.T, id postings.CodecID) {
+		ms := codecStore()
+		batches := codecBatches(7, 5)
+		ix, err := New(codecConfig(id, ms))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, us := range batches[:4] {
+			if _, err := ix.ApplyUpdate(us); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := map[postings.WordID]*postings.List{}
+		for w := postings.WordID(0); w < 30; w++ {
+			if want[w], err = ix.GetList(w); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		re, err := Open(codecConfig(id, ms))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := re.CheckConsistency(); err != nil {
+			t.Fatalf("restored index inconsistent: %v", err)
+		}
+		for w, l := range want {
+			got, err := re.GetList(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !postings.Equal(got, l) {
+				t.Fatalf("word %d differs after restart", w)
+			}
+		}
+		// The restored index keeps accepting updates.
+		if _, err := re.ApplyUpdate(batches[4]); err != nil {
+			t.Fatal(err)
+		}
+		if err := re.CheckConsistency(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestCodecMismatchRefused pins the "refuse mixed-codec opens" contract at
+// the checkpoint level.
+func TestCodecMismatchRefused(t *testing.T) {
+	ms := codecStore()
+	ix, err := New(codecConfig(postings.CodecVarint, ms))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.ApplyUpdate(codecBatches(3, 1)[0]); err != nil {
+		t.Fatal(err)
+	}
+	for _, wrong := range []postings.CodecID{postings.CodecRaw, postings.CodecGolomb} {
+		_, err := Open(codecConfig(wrong, ms))
+		if err == nil {
+			t.Fatalf("opening a varint index as %v succeeded", wrong)
+		}
+		if !strings.Contains(err.Error(), "codec") {
+			t.Fatalf("unhelpful mismatch error: %v", err)
+		}
+	}
+	// The right codec still opens.
+	if _, err := Open(codecConfig(postings.CodecVarint, ms)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCodecRequiresStore pins that simulation mode is raw-only.
+func TestCodecRequiresStore(t *testing.T) {
+	cfg := simConfig()
+	cfg.Codec = postings.CodecVarint
+	if _, err := New(cfg); err == nil {
+		t.Fatal("simulation-mode codec accepted")
+	}
+}
+
+// TestCodecSweep exercises Rewrite (the deletion sweep) under a codec.
+func TestCodecSweep(t *testing.T) {
+	eachCoreCodec(t, func(t *testing.T, id postings.CodecID) {
+		ix, err := New(codecConfig(id, codecStore()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		batches := codecBatches(11, 4)
+		for _, us := range batches {
+			if _, err := ix.ApplyUpdate(us); err != nil {
+				t.Fatal(err)
+			}
+		}
+		before, err := ix.GetList(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if before.Len() == 0 {
+			t.Fatal("word 0 has no postings")
+		}
+		// Delete every third document and sweep.
+		deleted := map[postings.DocID]bool{}
+		for i, p := range before.Postings() {
+			if i%3 == 0 {
+				ix.Delete(p.Doc)
+				deleted[p.Doc] = true
+			}
+		}
+		if err := ix.Sweep(); err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.CheckConsistency(); err != nil {
+			t.Fatal(err)
+		}
+		after, err := ix.GetList(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range after.Postings() {
+			if deleted[p.Doc] {
+				t.Fatalf("doc %d survived the sweep", p.Doc)
+			}
+		}
+		if want := before.Len() - len(deleted); after.Len() != want {
+			t.Fatalf("swept list has %d postings, want %d", after.Len(), want)
+		}
+	})
+}

@@ -129,7 +129,13 @@ func (ix *Index) flushDirectory() error {
 	var image []byte
 	size := int64(1)
 	if ix.cfg.Store != nil {
-		image = ix.dir.Encode(nil)
+		if ix.cfg.Codec != postings.CodecRaw {
+			// Codec-packed chunks carry their encoded extent; raw checkpoints
+			// keep the original five-field format, byte for byte.
+			image = ix.dir.EncodeExt(nil)
+		} else {
+			image = ix.dir.Encode(nil)
+		}
 		size = int64(len(image))
 	} else {
 		size = int64(ix.dir.EncodedSize())
@@ -170,10 +176,11 @@ func (ix *Index) flushDeleted() error {
 	return nil
 }
 
-// Superblock layout constants.
+// Superblock layout constants. Version 2 added the codec field after the
+// bucket geometry; version-1 checkpoints (always raw) are still readable.
 const (
 	superMagic   = 0x494C5549 // "IULI": Inverted-List Update
-	superVersion = 1
+	superVersion = 2
 )
 
 // writeSuperblock records where everything lives. It is written last, so a
@@ -199,6 +206,7 @@ func (ix *Index) encodeSuperblock() []byte {
 	// can change it after the index was created.
 	b = binary.AppendUvarint(b, uint64(ix.cfg.Buckets))
 	b = binary.AppendUvarint(b, uint64(ix.cfg.BucketSize))
+	b = binary.AppendUvarint(b, uint64(ix.cfg.Codec))
 	b = appendRegion(b, ix.bucketRegion)
 	b = appendRegion(b, ix.dirRegion)
 	b = appendRegion(b, ix.delRegion)

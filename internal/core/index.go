@@ -39,6 +39,11 @@ type Config struct {
 	// answer queries and restart from a checkpoint. When nil the index runs
 	// in the paper's simulation mode: exact I/O traces, no data.
 	Store disk.BlockStore
+	// Codec selects the long-list block codec. CodecRaw (the default) keeps
+	// the fixed 8-byte records — and, in simulation mode, byte-identical
+	// I/O traces. The compressing codecs require a Store, are recorded in
+	// every checkpoint, and are fixed for the life of the index.
+	Codec postings.CodecID
 	// FlushWorkers controls the parallel batch apply. The planning half of
 	// every update (allocation, directory bookkeeping, trace recording) is
 	// always sequential and deterministic; the data movement is partitioned
@@ -148,7 +153,14 @@ func New(cfg Config) (*Index, error) {
 		return nil, err
 	}
 	dir := directory.New()
-	long, err := longlist.NewManager(cfg.Policy, array, dir, cfg.BlockPosting)
+	codec, err := postings.NewBlockCodec(cfg.Codec)
+	if err != nil {
+		return nil, err
+	}
+	if codec != nil && cfg.Store == nil {
+		return nil, fmt.Errorf("core: codec %v requires a data store (simulation mode is raw-only)", cfg.Codec)
+	}
+	long, err := longlist.NewManagerCodec(cfg.Policy, array, dir, cfg.BlockPosting, codec)
 	if err != nil {
 		return nil, err
 	}

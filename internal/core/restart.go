@@ -65,7 +65,9 @@ func (ix *Index) restoreSuperblock(buf []byte) error {
 	if err != nil {
 		return err
 	}
-	if version != superVersion {
+	// Version 1 predates the codec field and implies raw; version 2 carries
+	// the codec explicitly.
+	if version != superVersion && version != 1 {
 		return fmt.Errorf("core: superblock version %d unsupported", version)
 	}
 	batches, err := next()
@@ -86,6 +88,18 @@ func (ix *Index) restoreSuperblock(buf []byte) error {
 	}
 	if numBuckets == 0 || bucketSize <= 1 {
 		return fmt.Errorf("core: corrupt bucket geometry %d×%d in superblock", numBuckets, bucketSize)
+	}
+	codec := uint64(postings.CodecRaw)
+	if version >= 2 {
+		if codec, err = next(); err != nil {
+			return err
+		}
+	}
+	if postings.CodecID(codec) != ix.cfg.Codec {
+		// Mixed-codec opens are refused: the codec is part of the on-disk
+		// format, fixed when the index is created.
+		return fmt.Errorf("core: checkpoint uses codec %v, configuration says %v",
+			postings.CodecID(codec), ix.cfg.Codec)
 	}
 	// The checkpoint geometry wins over the configured one: a rebalance may
 	// have grown the bucket space since the index was created.
@@ -167,7 +181,12 @@ func (ix *Index) restoreSuperblock(buf []byte) error {
 		pos += n
 	}
 
-	dir, err := directory.Decode(dirImage)
+	var dir *directory.Dir
+	if ix.cfg.Codec != postings.CodecRaw {
+		dir, err = directory.DecodeExt(dirImage)
+	} else {
+		dir, err = directory.Decode(dirImage)
+	}
 	if err != nil {
 		return fmt.Errorf("core: directory: %w", err)
 	}
@@ -180,7 +199,11 @@ func (ix *Index) restoreSuperblock(buf []byte) error {
 			}
 		}
 	}
-	long, err := longlist.NewManager(ix.cfg.Policy, ix.array, dir, ix.cfg.BlockPosting)
+	bc, err := postings.NewBlockCodec(ix.cfg.Codec)
+	if err != nil {
+		return err
+	}
+	long, err := longlist.NewManagerCodec(ix.cfg.Policy, ix.array, dir, ix.cfg.BlockPosting, bc)
 	if err != nil {
 		return err
 	}

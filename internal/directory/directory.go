@@ -24,14 +24,32 @@ type ChunkRef struct {
 	Blocks   int64
 	Postings int64 // postings currently stored
 	Capacity int64 // posting capacity of the allocated blocks
+	// EncBlocks is how many of the chunk's leading blocks hold codec-encoded
+	// postings. Zero means the raw fixed-record layout, where the data
+	// extent is implied by Postings; compressed chunks must record it
+	// because the encoded size depends on the data.
+	EncBlocks int64
 }
 
 // Free reports the reserved space z of the chunk in postings.
 func (c ChunkRef) Free() int64 { return c.Capacity - c.Postings }
 
+// DataBlocks reports how many of the chunk's blocks hold postings data:
+// EncBlocks for codec-packed chunks, ceil(Postings/blockPosting) for raw.
+func (c ChunkRef) DataBlocks(blockPosting int64) int64 {
+	if c.EncBlocks > 0 {
+		return c.EncBlocks
+	}
+	if c.Postings <= 0 {
+		return 0
+	}
+	return (c.Postings + blockPosting - 1) / blockPosting
+}
+
 // Validate checks internal consistency.
 func (c ChunkRef) Validate() error {
-	if c.Blocks <= 0 || c.Postings < 0 || c.Capacity < c.Postings || c.Block < 0 || c.Disk < 0 {
+	if c.Blocks <= 0 || c.Postings < 0 || c.Capacity < c.Postings || c.Block < 0 || c.Disk < 0 ||
+		c.EncBlocks < 0 || c.EncBlocks > c.Blocks {
 		return fmt.Errorf("directory: invalid chunk %+v", c)
 	}
 	return nil
@@ -142,6 +160,26 @@ func (d *Dir) GrowLastChunk(w postings.WordID, n int64) error {
 	return nil
 }
 
+// GrowLastChunkEnc is GrowLastChunk for codec-packed chunks: besides the
+// posting count it updates the chunk's encoded-data extent, which re-packing
+// the tail block may have grown.
+func (d *Dir) GrowLastChunkEnc(w postings.WordID, n, encBlocks int64) error {
+	cs := d.words[w]
+	if len(cs) == 0 {
+		return fmt.Errorf("directory: GrowLastChunkEnc of word %d with no chunks", w)
+	}
+	last := &cs[len(cs)-1]
+	if encBlocks < last.EncBlocks || encBlocks > last.Blocks {
+		return fmt.Errorf("directory: encoded extent %d outside [%d, %d] of word %d",
+			encBlocks, last.EncBlocks, last.Blocks, w)
+	}
+	if err := d.GrowLastChunk(w, n); err != nil {
+		return err
+	}
+	cs[len(cs)-1].EncBlocks = encBlocks
+	return nil
+}
+
 // Replace swaps w's entire chunk list (the whole style rewriting a list) and
 // returns the previous chunks so the caller can put them on the RELEASE
 // list.
@@ -213,8 +251,17 @@ func (d *Dir) EncodedSize() int {
 	return len(d.Encode(nil))
 }
 
-// Encode serialises the directory deterministically (words ascending).
-func (d *Dir) Encode(dst []byte) []byte {
+// Encode serialises the directory deterministically (words ascending). This
+// is the raw-codec format — five uvarints per chunk, unchanged since the
+// first checkpoint format, so raw simulated traces stay byte-identical.
+func (d *Dir) Encode(dst []byte) []byte { return d.encode(dst, false) }
+
+// EncodeExt is Encode with a sixth uvarint per chunk, the codec-encoded data
+// extent EncBlocks. Codec-packed indexes checkpoint with this format; raw
+// indexes never do.
+func (d *Dir) EncodeExt(dst []byte) []byte { return d.encode(dst, true) }
+
+func (d *Dir) encode(dst []byte, ext bool) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(d.words)))
 	for _, w := range d.Words() {
 		dst = binary.AppendUvarint(dst, uint64(w))
@@ -226,13 +273,21 @@ func (d *Dir) Encode(dst []byte) []byte {
 			dst = binary.AppendUvarint(dst, uint64(c.Blocks))
 			dst = binary.AppendUvarint(dst, uint64(c.Postings))
 			dst = binary.AppendUvarint(dst, uint64(c.Capacity))
+			if ext {
+				dst = binary.AppendUvarint(dst, uint64(c.EncBlocks))
+			}
 		}
 	}
 	return dst
 }
 
 // Decode reconstructs a directory from an Encode image.
-func Decode(buf []byte) (*Dir, error) {
+func Decode(buf []byte) (*Dir, error) { return decode(buf, false) }
+
+// DecodeExt reconstructs a directory from an EncodeExt image.
+func DecodeExt(buf []byte) (*Dir, error) { return decode(buf, true) }
+
+func decode(buf []byte, ext bool) (*Dir, error) {
 	d := New()
 	numWords, off := binary.Uvarint(buf)
 	if off <= 0 {
@@ -246,6 +301,10 @@ func Decode(buf []byte) (*Dir, error) {
 		off += n
 		return v, nil
 	}
+	perChunk := 5
+	if ext {
+		perChunk = 6
+	}
 	for i := uint64(0); i < numWords; i++ {
 		w, err := next()
 		if err != nil {
@@ -256,7 +315,7 @@ func Decode(buf []byte) (*Dir, error) {
 			return nil, err
 		}
 		for j := uint64(0); j < numChunks; j++ {
-			var vals [5]uint64
+			vals := make([]uint64, perChunk)
 			for k := range vals {
 				if vals[k], err = next(); err != nil {
 					return nil, err
@@ -268,6 +327,9 @@ func Decode(buf []byte) (*Dir, error) {
 				Blocks:   int64(vals[2]),
 				Postings: int64(vals[3]),
 				Capacity: int64(vals[4]),
+			}
+			if ext {
+				c.EncBlocks = int64(vals[5])
 			}
 			if err := d.AppendChunk(postings.WordID(w), c); err != nil {
 				return nil, err

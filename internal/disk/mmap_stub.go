@@ -1,0 +1,11 @@
+//go:build !unix
+
+package disk
+
+import "os"
+
+// Platforms without syscall.Mmap read through pread; a nil mapping is the
+// store's documented fallback.
+func mmapFile(f *os.File, size int64) ([]byte, error) { return nil, nil }
+
+func munmapFile(b []byte) error { return nil }

@@ -1,0 +1,26 @@
+//go:build unix
+
+package disk
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and shared, so the mapping stays
+// coherent with the store's pwrite traffic through the unified page cache.
+// The file must already be at least size bytes long (the store truncates it
+// up front), or touching pages past EOF would fault.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 {
+		return nil, nil
+	}
+	if st, err := f.Stat(); err != nil || st.Size() < size {
+		return nil, err
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(b []byte) error {
+	return syscall.Munmap(b)
+}

@@ -1,0 +1,218 @@
+package disk
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func asyncVariants(t *testing.T, f func(t *testing.T, mmap bool)) {
+	for _, mm := range []bool{false, true} {
+		t.Run(fmt.Sprintf("mmap=%v", mm), func(t *testing.T) { f(t, mm) })
+	}
+}
+
+func fillPattern(buf []byte, seed byte) {
+	for i := range buf {
+		buf[i] = seed + byte(i)
+	}
+}
+
+func TestBackendFileRoundTrip(t *testing.T) {
+	asyncVariants(t, func(t *testing.T, mm bool) {
+		dir := t.TempDir()
+		const bs, blocks = 256, 128
+		s, err := NewAsyncFileStore(dir, 2, bs, blocks, mm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[[2]int64][]byte{}
+		for d := 0; d < 2; d++ {
+			for _, b := range []int64{0, 1, 7, 100} {
+				data := make([]byte, bs)
+				fillPattern(data, byte(d*10)+byte(b))
+				if err := s.WriteAt(d, b, data); err != nil {
+					t.Fatal(err)
+				}
+				want[[2]int64{int64(d), b}] = data
+			}
+		}
+		// Read-after-write without any Sync: the overlay must serve queued data.
+		for k, data := range want {
+			got := make([]byte, bs)
+			if err := s.ReadAt(int(k[0]), k[1], got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("disk %d block %d differs before sync", k[0], k[1])
+			}
+		}
+		// Never-written blocks read as zeros.
+		got := make([]byte, bs)
+		if err := s.ReadAt(1, 50, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, make([]byte, bs)) {
+			t.Fatal("unwritten block is not zero")
+		}
+		if err := s.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Reopen and verify durability.
+		re, err := OpenAsyncFileStore(dir, 2, bs, blocks, mm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer re.Close()
+		for k, data := range want {
+			got := make([]byte, bs)
+			if err := re.ReadAt(int(k[0]), k[1], got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("disk %d block %d differs after reopen", k[0], k[1])
+			}
+		}
+	})
+}
+
+func TestBackendFileOverwriteOrdering(t *testing.T) {
+	// Rapid rewrites of the same block: readers must always see the newest
+	// enqueued version, and the file must end with the last one.
+	asyncVariants(t, func(t *testing.T, mm bool) {
+		dir := t.TempDir()
+		const bs = 128
+		s, err := NewAsyncFileStore(dir, 1, bs, 64, mm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, bs)
+		for i := 0; i < 500; i++ {
+			fillPattern(data, byte(i))
+			if err := s.WriteAt(0, 3, data); err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, bs)
+			if err := s.ReadAt(0, 3, got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("iteration %d: read returned a stale version", i)
+			}
+		}
+		if err := s.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, bs)
+		if err := s.ReadAt(0, 3, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("final version lost after sync")
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestBackendFileConcurrent(t *testing.T) {
+	// Writers on every disk racing readers; run under -race in CI.
+	asyncVariants(t, func(t *testing.T, mm bool) {
+		dir := t.TempDir()
+		const bs, disks = 64, 3
+		s, err := NewAsyncFileStore(dir, disks, bs, 256, mm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for d := 0; d < disks; d++ {
+			wg.Add(2)
+			go func(d int) {
+				defer wg.Done()
+				buf := make([]byte, bs)
+				for i := 0; i < 200; i++ {
+					fillPattern(buf, byte(i))
+					if err := s.WriteAt(d, int64(i%32), buf); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(d)
+			go func(d int) {
+				defer wg.Done()
+				buf := make([]byte, 4*bs)
+				for i := 0; i < 200; i++ {
+					if err := s.ReadAt(d, int64(i%28), buf); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(d)
+		}
+		wg.Wait()
+		if err := s.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestBackendFileMultiBlockWrites(t *testing.T) {
+	asyncVariants(t, func(t *testing.T, mm bool) {
+		dir := t.TempDir()
+		const bs = 64
+		s, err := NewAsyncFileStore(dir, 1, bs, 64, mm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		run := make([]byte, 5*bs)
+		fillPattern(run, 3)
+		if err := s.WriteAt(0, 10, run); err != nil {
+			t.Fatal(err)
+		}
+		// Overwrite the middle block only.
+		mid := make([]byte, bs)
+		fillPattern(mid, 200)
+		if err := s.WriteAt(0, 12, mid); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 5*bs)
+		if err := s.ReadAt(0, 10, got); err != nil {
+			t.Fatal(err)
+		}
+		want := append([]byte(nil), run...)
+		copy(want[2*bs:3*bs], mid)
+		if !bytes.Equal(got, want) {
+			t.Fatal("multi-block overlay mismatch")
+		}
+	})
+}
+
+func TestBackendFileChecksArguments(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewAsyncFileStore(dir, 1, 64, 16, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.WriteAt(5, 0, make([]byte, 64)); err == nil {
+		t.Error("out-of-range disk accepted")
+	}
+	if err := s.ReadAt(0, 0, make([]byte, 63)); err == nil {
+		t.Error("unaligned buffer accepted")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteAt(0, 0, make([]byte, 64)); err == nil {
+		t.Error("write after close accepted")
+	}
+}

@@ -3,6 +3,7 @@ package longlist
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 
 	"dualindex/internal/directory"
 	"dualindex/internal/disk"
@@ -23,6 +24,18 @@ type Manager struct {
 	array        *disk.Array
 	dir          *directory.Dir
 	blockPosting int64 // postings per block (paper variable BlockPosting)
+
+	// codec, when non-nil, packs long-list blocks through a compressing
+	// block codec (manager_codec.go) instead of the fixed 8-byte records.
+	// blockSize caches the array's block size for packing.
+	codec     postings.BlockCodec
+	blockSize int
+
+	// compRaw/compEnc accumulate the raw (fixed-record) and encoded payload
+	// bytes of every codec pack — the compression-ratio counters. Atomics
+	// because the metrics registry reads them concurrently with flushes.
+	compRaw atomic.Int64
+	compEnc atomic.Int64
 
 	nextDisk int // round-robin cursor i; the next new chunk goes to disk i
 
@@ -73,6 +86,15 @@ func (s Stats) InPlaceFrac() float64 {
 // disk block; when the array stores real data it must equal
 // BlockSize/PostingBytes so that the accounting and the bytes agree.
 func NewManager(p Policy, array *disk.Array, dir *directory.Dir, blockPosting int64) (*Manager, error) {
+	return NewManagerCodec(p, array, dir, blockPosting, nil)
+}
+
+// NewManagerCodec is NewManager with a block codec: when codec is non-nil,
+// long-list blocks hold codec-encoded postings instead of fixed records, and
+// the chunk directory tracks each chunk's encoded extent. A codec requires a
+// data store — in pure simulation there are no bytes to compress, and the
+// raw path must stay byte-identical to the paper's accounting.
+func NewManagerCodec(p Policy, array *disk.Array, dir *directory.Dir, blockPosting int64, codec postings.BlockCodec) (*Manager, error) {
 	p = p.Normalize()
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -87,10 +109,31 @@ func NewManager(p Policy, array *disk.Array, dir *directory.Dir, blockPosting in
 		}
 	}
 	m := &Manager{policy: p, array: array, dir: dir, blockPosting: blockPosting}
+	if codec != nil {
+		if !array.HasStore() {
+			return nil, fmt.Errorf("longlist: codec %v requires a data store", codec.ID())
+		}
+		if bs := array.Geometry().BlockSize; bs < postings.MinCodecBlockSize {
+			return nil, fmt.Errorf("longlist: codec %v needs blocks of at least %d bytes, got %d",
+				codec.ID(), postings.MinCodecBlockSize, bs)
+		}
+		m.codec = codec
+		m.blockSize = array.Geometry().BlockSize
+	}
 	if p.Alloc == AllocAdaptive {
 		m.lastUpdate = make(map[postings.WordID]int64)
 	}
 	return m, nil
+}
+
+// Codec returns the manager's block codec (nil for raw).
+func (m *Manager) Codec() postings.BlockCodec { return m.codec }
+
+// CompressionBytes reports the cumulative raw (fixed-record equivalent) and
+// encoded payload bytes of every codec pack. Both are zero for raw managers.
+// Safe to call concurrently with updates.
+func (m *Manager) CompressionBytes() (raw, encoded int64) {
+	return m.compRaw.Load(), m.compEnc.Load()
 }
 
 // Policy returns the manager's (normalized) policy.
@@ -157,6 +200,9 @@ func (m *Manager) Append(w postings.WordID, count int64, list *postings.List) er
 	}
 	if m.lastUpdate != nil {
 		m.lastUpdate[w] = count
+	}
+	if m.codec != nil {
+		return m.appendCodec(w, count, list, exists)
 	}
 
 	// Lines 1-2: in-place update when the in-memory list fits the limit.
@@ -421,6 +467,9 @@ func (m *Manager) readAll(w postings.WordID) (int64, *postings.List, error) {
 // through a snapshot whose chunks stay intact until the flush completes.
 // ReadChunks is safe to call from multiple goroutines.
 func (m *Manager) ReadChunks(w postings.WordID, chunks []directory.ChunkRef) (int64, *postings.List, error) {
+	if m.codec != nil {
+		return m.readChunksCodec(w, chunks)
+	}
 	var total int64
 	out := &postings.List{}
 	for _, c := range chunks {
@@ -476,7 +525,13 @@ func (m *Manager) Rewrite(w postings.WordID, count int64, list *postings.List) e
 		_, err := m.dir.Replace(w, nil)
 		return err
 	}
-	ref, err := m.writeReserved(count, m.lastUpdate[w], list)
+	var ref directory.ChunkRef
+	var err error
+	if m.codec != nil {
+		ref, err = m.writeReservedCodec(count, m.lastUpdate[w], list)
+	} else {
+		ref, err = m.writeReserved(count, m.lastUpdate[w], list)
+	}
 	if err != nil {
 		return err
 	}

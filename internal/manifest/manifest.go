@@ -24,8 +24,10 @@ const FileName = "MANIFEST.json"
 
 // Version is the current manifest format version. Readers accept versions
 // in [1, Version]; a larger version means the directory was written by a
-// newer engine and must not be modified by this one.
-const Version = 1
+// newer engine and must not be modified by this one. Version 2 added the
+// storage backend and postings codec fields; version-1 manifests are read
+// as backend "file" (the only backend that existed) with the raw codec.
+const Version = 2
 
 // Manifest is the persisted identity of one index directory.
 type Manifest struct {
@@ -40,6 +42,15 @@ type Manifest struct {
 	// RangeSpan is the range router's span (documents per contiguous run);
 	// 0 for the other routers.
 	RangeSpan int `json:"range_span,omitempty"`
+	// Backend names the block-store backend the index was built on: "file"
+	// (real files with per-disk writer goroutines) — the only backend a
+	// persistent directory can use. Empty (version-1 manifests) means "file".
+	Backend string `json:"backend,omitempty"`
+	// Codec names the long-list block codec: "raw", "varint" or "golomb".
+	// The codec shapes every on-disk chunk image, so an index may only be
+	// opened with the codec it was built with. Empty (version-1 manifests)
+	// means "raw".
+	Codec string `json:"codec,omitempty"`
 }
 
 // Path returns the manifest's path inside dir.
@@ -81,6 +92,16 @@ func (m Manifest) Validate() error {
 	}
 	if m.RangeSpan < 0 {
 		return fmt.Errorf("invalid range span %d", m.RangeSpan)
+	}
+	switch m.Backend {
+	case "", "file", "sim":
+	default:
+		return fmt.Errorf("unknown backend %q", m.Backend)
+	}
+	switch m.Codec {
+	case "", "raw", "varint", "golomb":
+	default:
+		return fmt.Errorf("unknown codec %q", m.Codec)
 	}
 	return nil
 }

@@ -60,6 +60,12 @@ func Decode(buf []byte) (*List, int, error) {
 		return nil, 0, fmt.Errorf("%w: bad count", ErrCorrupt)
 	}
 	off := n
+	// Every posting encodes to at least two bytes (one gap varint, one freq
+	// varint), so a count the remaining buffer cannot possibly hold is corrupt
+	// — reject it before it sizes the allocation below.
+	if count > uint64(len(buf)-off)/2 {
+		return nil, 0, fmt.Errorf("%w: count %d exceeds %d-byte buffer", ErrCorrupt, count, len(buf)-off)
+	}
 	l := &List{ps: make([]Posting, 0, count)}
 	prev := uint64(0)
 	for i := uint64(0); i < count; i++ {

@@ -1,0 +1,132 @@
+package postings
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// Fuzz targets for the two compressing codecs. The seed corpus covers the
+// interesting shapes by construction — gap=1 runs, maximal doc ids, huge
+// gaps — and runs as plain unit tests under `go test` (and so in `make
+// check`); `go test -fuzz=FuzzVarint ./internal/postings/` explores further.
+
+// fuzzList derives a sorted posting list from raw fuzz bytes: each 5-byte
+// group is a varint-ish gap and a frequency nibble.
+func fuzzList(data []byte) *List {
+	ps := make([]Posting, 0, len(data)/5)
+	doc := uint64(0)
+	for i := 0; i+5 <= len(data); i += 5 {
+		gap := uint64(data[i]) | uint64(data[i+1])<<8 | uint64(data[i+2])<<16 | uint64(data[i+3])<<24
+		doc += gap % (1 << 20)
+		if i > 0 {
+			doc++ // strictly increasing after the first group
+		}
+		if doc > uint64(math.MaxUint32) {
+			break
+		}
+		ps = append(ps, Posting{Doc: DocID(doc), Freq: uint32(data[i+4]%16) + 1})
+	}
+	if len(ps) == 0 {
+		return nil
+	}
+	return NewList(ps)
+}
+
+func fuzzSeeds(f *testing.F) {
+	f.Add([]byte{})
+	// gap=1 run: every 5-byte group advances the doc id by exactly one.
+	run := make([]byte, 5*64)
+	for i := 4; i < len(run); i += 5 {
+		run[i] = 7
+	}
+	f.Add(run)
+	// A maximal doc id (the 32-bit ceiling) after a huge jump.
+	f.Add([]byte{
+		0x01, 0x00, 0x00, 0x00, 0x01,
+		0xff, 0xff, 0xff, 0xff, 0x0f,
+		0xff, 0xff, 0xff, 0xff, 0xff,
+	})
+	// Sparse gaps near the modulus.
+	f.Add([]byte{0xff, 0xff, 0x0f, 0x00, 0x03, 0xfe, 0xff, 0x0f, 0x00, 0x01})
+}
+
+func FuzzVarintRoundTrip(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l := fuzzList(data)
+		if l == nil {
+			return
+		}
+		c, _ := NewBlockCodec(CodecVarint)
+		fuzzRoundTrip(t, c, l)
+	})
+}
+
+func FuzzGolombRoundTrip(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l := fuzzList(data)
+		if l == nil {
+			return
+		}
+		c, _ := NewBlockCodec(CodecGolomb)
+		fuzzRoundTrip(t, c, l)
+		// Also the flat (non-block) coder with a fuzz-derived parameter.
+		b := GolombParameter(int64(l.MaxDoc()), int64(l.Len()))
+		enc := EncodeGolomb(nil, l, b)
+		got, err := DecodeGolomb(enc, l.Len(), b)
+		if err != nil {
+			t.Fatalf("DecodeGolomb: %v", err)
+		}
+		if !Equal(got, l) {
+			t.Fatal("flat golomb round trip mismatch")
+		}
+	})
+}
+
+func fuzzRoundTrip(t *testing.T, c BlockCodec, l *List) {
+	for _, bs := range []int{64, 256, 4096} {
+		img, blocks, _ := PackBlocks(c, l, 0, l.Len(), bs)
+		if blocks*bs != len(img) {
+			t.Fatalf("bs=%d: image %d bytes for %d blocks", bs, len(img), blocks)
+		}
+		got, err := UnpackBlocks(c, img, bs, l.Len())
+		if err != nil {
+			t.Fatalf("bs=%d: unpack: %v", bs, err)
+		}
+		if !Equal(got, l) {
+			t.Fatalf("bs=%d: round trip mismatch", bs)
+		}
+	}
+}
+
+// FuzzDecodeArbitrary feeds raw bytes to every decoder: they must return
+// ErrCorrupt-style errors on garbage and truncation, never panic or hang.
+func FuzzDecodeArbitrary(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{0x00}, uint8(1))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}, uint8(2))
+	// Truncated valid varint block (count says 2, one posting present).
+	trunc := binary.AppendUvarint(nil, 2)
+	trunc = binary.AppendUvarint(trunc, 5)
+	trunc = binary.AppendUvarint(trunc, 1)
+	f.Add(trunc, uint8(0))
+	// A max-uint64 gap: decoders must reject the doc-id overflow.
+	over := binary.AppendUvarint(nil, 1)
+	over = binary.AppendUvarint(over, math.MaxUint64)
+	over = binary.AppendUvarint(over, 1)
+	f.Add(over, uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, which uint8) {
+		switch which % 3 {
+		case 0:
+			Decode(data)
+		case 1:
+			c, _ := NewBlockCodec(CodecVarint)
+			c.DecodeBlock(data)
+		case 2:
+			c, _ := NewBlockCodec(CodecGolomb)
+			c.DecodeBlock(data)
+		}
+	})
+}

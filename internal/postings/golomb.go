@@ -91,14 +91,20 @@ func EncodeGolomb(dst []byte, l *List, b uint64) []byte {
 	if b == 0 {
 		panic("postings: Golomb parameter 0")
 	}
+	return encodeGolombFrom(dst, l.Postings(), 0, b)
+}
+
+// encodeGolombFrom codes ps with the delta chain seeded at prev (the
+// successor of the last doc already coded) — the block codec uses it to
+// restart chains at block boundaries.
+func encodeGolombFrom(dst []byte, ps []Posting, prev uint64, b uint64) []byte {
 	w := &bitWriter{buf: dst}
 	// ceil(log2 b) bits hold a remainder < b.
 	rbits := uint(0)
 	for 1<<rbits < b {
 		rbits++
 	}
-	prev := uint64(0)
-	for _, p := range l.Postings() {
+	for _, p := range ps {
 		gap := uint64(p.Doc) + 1 - prev
 		prev = uint64(p.Doc) + 1
 		q := (gap - 1) / b
@@ -127,6 +133,12 @@ func EncodeGolomb(dst []byte, l *List, b uint64) []byte {
 
 // DecodeGolomb decodes n postings Golomb-coded with parameter b.
 func DecodeGolomb(buf []byte, n int, b uint64) (*List, error) {
+	return decodeGolombFrom(buf, n, b, 0)
+}
+
+// decodeGolombFrom is DecodeGolomb with the delta chain seeded at prev,
+// mirroring encodeGolombFrom.
+func decodeGolombFrom(buf []byte, n int, b uint64, prev uint64) (*List, error) {
 	if b == 0 {
 		return nil, fmt.Errorf("%w: Golomb parameter 0", ErrCorrupt)
 	}
@@ -136,8 +148,13 @@ func DecodeGolomb(buf []byte, n int, b uint64) (*List, error) {
 		rbits++
 	}
 	cutoff := uint64(1)<<rbits - b
+	// Every posting consumes at least two bits (the gap's unary terminator
+	// and the frequency's), so a count beyond 4 postings per buffer byte is
+	// corrupt — reject it before it sizes the allocation below.
+	if n < 0 || uint64(n) > 4*uint64(len(buf)) {
+		return nil, fmt.Errorf("%w: count %d exceeds %d-byte buffer", ErrCorrupt, n, len(buf))
+	}
 	ps := make([]Posting, 0, n)
-	prev := uint64(0)
 	for i := 0; i < n; i++ {
 		var q uint64
 		for {

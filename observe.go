@@ -7,6 +7,7 @@ import (
 
 	"dualindex/internal/cache"
 	"dualindex/internal/core"
+	"dualindex/internal/disk"
 	"dualindex/internal/metrics"
 	"dualindex/internal/trace"
 )
@@ -415,25 +416,48 @@ func (e *Engine) registerShardFuncs() {
 			reg.RegisterFunc(`cache_evictions_total{shard="`+shard+`"}`,
 				cacheStat(func(cs cache.Stats) int64 { return cs.Evictions }))
 		}
+		if e.opts.Codec != "" && e.opts.Codec != CodecRaw {
+			codecStat := func(pick func(raw, enc int64) float64) func() float64 {
+				return func() float64 {
+					s := e.shardAt(i)
+					if s == nil {
+						return 0
+					}
+					return pick(s.index.LongLists().CompressionBytes())
+				}
+			}
+			reg.RegisterFunc(`codec_raw_bytes_total{shard="`+shard+`"}`,
+				codecStat(func(raw, _ int64) float64 { return float64(raw) }))
+			reg.RegisterFunc(`codec_encoded_bytes_total{shard="`+shard+`"}`,
+				codecStat(func(_, enc int64) float64 { return float64(enc) }))
+			reg.RegisterFunc(`codec_compression_ratio{shard="`+shard+`"}`,
+				codecStat(func(raw, enc int64) float64 {
+					if enc == 0 {
+						return 0
+					}
+					return float64(raw) / float64(enc)
+				}))
+		}
 		for d := 0; d < e.opts.NumDisks; d++ {
 			d := d
 			labels := fmt.Sprintf(`{shard=%q,disk="%d"}`, shard, d)
+			diskStat := func(pick func(disk.DiskOps) int64) func() float64 {
+				return func() float64 {
+					s := e.shardAt(i)
+					if s == nil {
+						return 0
+					}
+					return float64(pick(s.index.Array().DiskOpCounts(d)))
+				}
+			}
 			reg.RegisterFunc(`disk_read_ops_total`+labels,
-				func() float64 {
-					s := e.shardAt(i)
-					if s == nil {
-						return 0
-					}
-					return float64(s.index.Array().DiskOpCounts(d).ReadOps)
-				})
+				diskStat(func(o disk.DiskOps) int64 { return o.ReadOps }))
 			reg.RegisterFunc(`disk_write_ops_total`+labels,
-				func() float64 {
-					s := e.shardAt(i)
-					if s == nil {
-						return 0
-					}
-					return float64(s.index.Array().DiskOpCounts(d).WriteOps)
-				})
+				diskStat(func(o disk.DiskOps) int64 { return o.WriteOps }))
+			reg.RegisterFunc(`disk_read_blocks_total`+labels,
+				diskStat(func(o disk.DiskOps) int64 { return o.ReadBlocks }))
+			reg.RegisterFunc(`disk_write_blocks_total`+labels,
+				diskStat(func(o disk.DiskOps) int64 { return o.WriteBlocks }))
 		}
 	}
 }

@@ -80,6 +80,34 @@ func (p Policy) internal() (longlist.Policy, error) {
 	return out, out.Validate()
 }
 
+// Block-store backends (Options.Backend).
+const (
+	// BackendSim is the simulated backend: each shard's disk array lives in
+	// memory, and the recorded I/O traces are byte-identical to the paper's
+	// serial model. The only backend an in-memory (Dir == "") engine can use.
+	BackendSim = "sim"
+	// BackendFile is the real-I/O backend: each simulated disk is one file
+	// with its own writer goroutine; writes are whole aligned blocks,
+	// durability is batched into one fsync per disk at checkpoint
+	// boundaries, and reads optionally go through a shared mmap
+	// (Options.MmapReads). Requires Dir.
+	BackendFile = "file"
+)
+
+// Long-list block codecs (Options.Codec).
+const (
+	// CodecRaw stores fixed 8-byte postings — the paper's layout, and the
+	// only codec whose simulated traces are byte-identical to the original
+	// engine.
+	CodecRaw = "raw"
+	// CodecVarint delta-encodes document gaps and frequencies as varints,
+	// restarting the delta chain at every block boundary.
+	CodecVarint = "varint"
+	// CodecGolomb Golomb-codes document gaps (with varint frequencies),
+	// restarting at block boundaries; densest for long lists.
+	CodecGolomb = "golomb"
+)
+
 // Options configure an engine. The zero value gives an in-memory,
 // single-shard engine with the paper's balanced policy and a moderate
 // geometry.
@@ -124,6 +152,26 @@ type Options struct {
 	NumDisks      int
 	BlocksPerDisk int64
 	BlockSize     int
+	// Backend selects the block-store backend: BackendSim (in-memory,
+	// byte-identical simulated traces) or BackendFile (one file and writer
+	// goroutine per disk, batched fsync at checkpoints). "" means
+	// "unspecified": BackendSim for an in-memory engine, BackendFile for a
+	// persistent one — exactly the pre-backend behaviour. BackendFile
+	// requires Dir, and BackendSim excludes it; the resolved backend is
+	// recorded in the index manifest.
+	Backend string
+	// Codec selects the long-list block codec: CodecRaw (the default, the
+	// paper's fixed 8-byte postings, byte-identical simulated traces),
+	// CodecVarint or CodecGolomb (compressed blocks — fewer blocks moved
+	// per flush and query, at some CPU cost). The codec shapes every
+	// on-disk chunk image, so it is fixed at index creation and recorded in
+	// the manifest; "" adopts whatever an existing index records, and a
+	// non-empty value that disagrees is refused.
+	Codec string
+	// MmapReads serves BackendFile reads through a read-only shared mmap of
+	// each disk file instead of pread, where the platform supports it.
+	// Ignored by BackendSim.
+	MmapReads bool
 	// Lexer tokenization options (zero value = the paper's rules).
 	Lexer lexer.Options
 	// KeepDocuments stores the original document text (in memory, or in a
@@ -223,6 +271,49 @@ func (o Options) routingDefaults() Options {
 	}
 	if o.Routing == route.KindRange && o.RangeSpan == 0 {
 		o.RangeSpan = route.DefaultRangeSpan
+	}
+	return o
+}
+
+// validateStorage rejects nonsense backend/codec combinations up front, with
+// the codec left possibly empty ("adopt the manifest") for Open to resolve.
+func (o Options) validateStorage() error {
+	switch o.Backend {
+	case "", BackendSim, BackendFile:
+	default:
+		return fmt.Errorf("dualindex: unknown backend %q (want %q or %q)", o.Backend, BackendSim, BackendFile)
+	}
+	switch o.Codec {
+	case "", CodecRaw, CodecVarint, CodecGolomb:
+	default:
+		return fmt.Errorf("dualindex: unknown codec %q (want %q, %q or %q)", o.Codec, CodecRaw, CodecVarint, CodecGolomb)
+	}
+	if o.Backend == BackendFile && o.Dir == "" {
+		return fmt.Errorf("dualindex: backend %q needs Options.Dir", BackendFile)
+	}
+	if o.Backend == BackendSim && o.Dir != "" {
+		return fmt.Errorf("dualindex: backend %q cannot persist to a directory; drop Options.Dir or use backend %q", BackendSim, BackendFile)
+	}
+	if o.Codec != "" && o.Codec != CodecRaw && o.BlockSize < postings.MinCodecBlockSize {
+		return fmt.Errorf("dualindex: codec %q needs BlockSize >= %d, got %d", o.Codec, postings.MinCodecBlockSize, o.BlockSize)
+	}
+	return nil
+}
+
+// storageDefaults resolves the "unspecified" zero values of the storage
+// options for a new index: the backend follows Dir (simulated in memory,
+// file-backed on disk) and the codec defaults to raw — the paper's exact
+// layout. Existing directories resolve from their manifest instead.
+func (o Options) storageDefaults() Options {
+	if o.Backend == "" {
+		if o.Dir == "" {
+			o.Backend = BackendSim
+		} else {
+			o.Backend = BackendFile
+		}
+	}
+	if o.Codec == "" {
+		o.Codec = CodecRaw
 	}
 	return o
 }

@@ -42,15 +42,19 @@ func Open(opts Options) (*Engine, error) {
 	if opts.RangeSpan < 0 {
 		return nil, fmt.Errorf("dualindex: negative range span %d", opts.RangeSpan)
 	}
+	if err := opts.validateStorage(); err != nil {
+		return nil, err
+	}
 	writeManifest := false
 	if opts.Dir == "" {
-		opts = opts.routingDefaults()
+		opts = opts.routingDefaults().storageDefaults()
 	} else {
 		m, fresh, err := resolveLayout(opts.Dir, opts)
 		if err != nil {
 			return nil, err
 		}
 		opts.Shards, opts.Routing, opts.RangeSpan = m.Shards, m.Routing, m.RangeSpan
+		opts.Backend, opts.Codec = manifestBackend(m), manifestCodec(m)
 		writeManifest = fresh
 	}
 	router, err := route.New(opts.Routing, opts.Shards, opts.RangeSpan)
@@ -84,14 +88,37 @@ func Open(opts Options) (*Engine, error) {
 	return e, nil
 }
 
-// manifestFor renders an Options set (with routing already resolved) as the
-// manifest to persist.
+// manifestFor renders an Options set (with routing and storage already
+// resolved) as the manifest to persist.
 func manifestFor(opts Options) manifest.Manifest {
-	m := manifest.Manifest{Version: manifest.Version, Shards: opts.Shards, Routing: opts.Routing}
+	m := manifest.Manifest{
+		Version: manifest.Version,
+		Shards:  opts.Shards,
+		Routing: opts.Routing,
+		Backend: opts.Backend,
+		Codec:   opts.Codec,
+	}
 	if opts.Routing == route.KindRange {
 		m.RangeSpan = opts.RangeSpan
 	}
 	return m
+}
+
+// manifestBackend and manifestCodec read a manifest's storage fields with
+// their version-1 defaults: manifests from before the fields existed
+// describe file-backed, raw-codec indexes — the only kind there was.
+func manifestBackend(m manifest.Manifest) string {
+	if m.Backend == "" {
+		return BackendFile
+	}
+	return m.Backend
+}
+
+func manifestCodec(m manifest.Manifest) string {
+	if m.Codec == "" {
+		return CodecRaw
+	}
+	return m.Codec
 }
 
 // resolveLayout determines dir's shard count and routing, reconciling the
@@ -150,13 +177,26 @@ func resolveLayout(dir string, opts Options) (m manifest.Manifest, fresh bool, e
 				"dualindex: %s holds a %d-shard index, not %d shards (set Shards to %d or 0 to adopt)",
 				dir, legacyShards, opts.Shards, legacyShards)
 		}
-		m = manifest.Manifest{Version: manifest.Version, Shards: legacyShards, Routing: route.KindHash}
+		// Legacy indexes likewise predate codec choices: they are raw by
+		// construction.
+		if opts.Codec != "" && opts.Codec != CodecRaw {
+			return m, false, fmt.Errorf(
+				"dualindex: %s predates codec manifests and is raw-encoded; it cannot be opened with Codec %q",
+				dir, opts.Codec)
+		}
+		m = manifest.Manifest{
+			Version: manifest.Version,
+			Shards:  legacyShards,
+			Routing: route.KindHash,
+			Backend: BackendFile,
+			Codec:   CodecRaw,
+		}
 		if err := manifest.Save(dir, m); err != nil {
 			return m, false, fmt.Errorf("dualindex: upgrading legacy index layout: %w", err)
 		}
 		return m, false, nil
 	}
-	opts = opts.routingDefaults()
+	opts = opts.routingDefaults().storageDefaults()
 	return manifestFor(opts), true, nil
 }
 
@@ -177,6 +217,16 @@ func reconcileManifest(dir string, m manifest.Manifest, opts Options) error {
 		return fmt.Errorf(
 			"dualindex: %s uses range span %d, not %d (the span is fixed when the index is created)",
 			dir, m.RangeSpan, opts.RangeSpan)
+	}
+	if opts.Backend != "" && opts.Backend != manifestBackend(m) {
+		return fmt.Errorf(
+			"dualindex: %s was built on the %q backend, not %q",
+			dir, manifestBackend(m), opts.Backend)
+	}
+	if opts.Codec != "" && opts.Codec != manifestCodec(m) {
+		return fmt.Errorf(
+			"dualindex: %s is %s-encoded, not %s-encoded (the codec shapes every on-disk chunk and is fixed when the index is created)",
+			dir, manifestCodec(m), opts.Codec)
 	}
 	return nil
 }
@@ -319,15 +369,15 @@ func shardDir(dir string, i, shards int) string {
 	return filepath.Join(dir, fmt.Sprintf("shard-%d", i))
 }
 
-func openFileStore(dir string, disks, blockSize int, resume bool) (disk.BlockStore, error) {
+func openFileStore(dir string, opts Options, resume bool) (disk.BlockStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	if !resume {
-		return disk.NewFileStore(dir, disks, blockSize)
+		return disk.NewAsyncFileStore(dir, opts.NumDisks, opts.BlockSize, opts.BlocksPerDisk, opts.MmapReads)
 	}
 	// Reopen existing files without truncation.
-	return disk.OpenFileStore(dir, disks, blockSize)
+	return disk.OpenAsyncFileStore(dir, opts.NumDisks, opts.BlockSize, opts.BlocksPerDisk, opts.MmapReads)
 }
 
 func (s *shard) vocabPath() string { return filepath.Join(s.dir, "vocab.txt") }

@@ -24,3 +24,10 @@ go vet ./internal/metrics/ ./internal/trace/ ./internal/obshttp/ \
 	./internal/route/ ./internal/manifest/
 echo '== go test -race ./...'
 go test -race ./...
+# The codec fuzz targets' seed corpora run as unit tests above; give each
+# target a short live fuzzing burst too, so `make check` explores beyond the
+# seeds (kept brief — CI does the long runs).
+echo '== go test -fuzz (seed burst)'
+for target in FuzzVarintRoundTrip FuzzGolombRoundTrip FuzzDecodeArbitrary; do
+	go test -run "^$target\$" -fuzz "^$target\$" -fuzztime 5s ./internal/postings/
+done

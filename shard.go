@@ -88,7 +88,7 @@ func openShard(opts Options, dir string) (*shard, error) {
 		if _, err := os.Stat(filepath.Join(dir, "disk0.dat")); err == nil {
 			resume = true
 		}
-		fs, err := openFileStore(dir, opts.NumDisks, opts.BlockSize, resume)
+		fs, err := openFileStore(dir, opts, resume)
 		if err != nil {
 			return nil, err
 		}
@@ -98,6 +98,11 @@ func openShard(opts Options, dir string) (*shard, error) {
 	if opts.CacheBlocks > 0 {
 		blockCache = cache.New(store, opts.BlockSize, opts.CacheBlocks)
 		store = blockCache
+	}
+	codec, err := postings.ParseCodec(opts.Codec)
+	if err != nil {
+		store.Close()
+		return nil, err
 	}
 	cfg := core.Config{
 		Buckets:      opts.Buckets,
@@ -110,6 +115,7 @@ func openShard(opts Options, dir string) (*shard, error) {
 		},
 		Policy:       pol,
 		Store:        store,
+		Codec:        codec,
 		FlushWorkers: opts.Workers,
 	}
 	s := &shard{

@@ -74,7 +74,20 @@ type Stats struct {
 	AvgReadsPerList float64
 	ReadOps         int64
 	WriteOps        int64
-	Deleted         int
+	// ReadBlocks and WriteBlocks count the blocks those operations moved —
+	// the I/O volume behind the operation counts. With a compressing codec,
+	// fewer blocks move for the same postings; the delta against CodecRaw is
+	// the compression win the bench-compress target measures.
+	ReadBlocks  int64
+	WriteBlocks int64
+	Deleted     int
+	// CodecRawBytes and CodecEncodedBytes are the long-list codec's
+	// cumulative input and output volume: how many raw posting bytes were
+	// packed into how many encoded bytes. Both zero under CodecRaw (nothing
+	// is re-encoded). CompressionRatio is raw/encoded, 0 before any packing.
+	CodecRawBytes     int64
+	CodecEncodedBytes int64
+	CompressionRatio  float64
 	// MaxBucketLoadFactor is the fullest shard's bucket load factor. The
 	// engine-wide BucketLoadFactor is a mean, and hash routing keeps the
 	// shards near it — but a hot shard can saturate (evicting short lists
@@ -98,9 +111,15 @@ func (s *shard) stats() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	st := Stats{
-		Words:    s.vocab.Len(),
-		ReadOps:  s.index.Array().ReadOps(),
-		WriteOps: s.index.Array().WriteOps(),
+		Words:       s.vocab.Len(),
+		ReadOps:     s.index.Array().ReadOps(),
+		WriteOps:    s.index.Array().WriteOps(),
+		ReadBlocks:  s.index.Array().ReadBlocks(),
+		WriteBlocks: s.index.Array().WriteBlocks(),
+	}
+	st.CodecRawBytes, st.CodecEncodedBytes = s.index.LongLists().CompressionBytes()
+	if st.CodecEncodedBytes > 0 {
+		st.CompressionRatio = float64(st.CodecRawBytes) / float64(st.CodecEncodedBytes)
 	}
 	if s.snap != nil {
 		st.Batches = s.snap.Batches()
@@ -158,6 +177,10 @@ func (e *Engine) Stats() Stats {
 		st.BucketWords += ss.BucketWords
 		st.ReadOps += ss.ReadOps
 		st.WriteOps += ss.WriteOps
+		st.ReadBlocks += ss.ReadBlocks
+		st.WriteBlocks += ss.WriteBlocks
+		st.CodecRawBytes += ss.CodecRawBytes
+		st.CodecEncodedBytes += ss.CodecEncodedBytes
 		st.Deleted += ss.Deleted
 		st.CacheHits += ss.CacheHits
 		st.CacheMisses += ss.CacheMisses
@@ -177,6 +200,9 @@ func (e *Engine) Stats() Stats {
 	}
 	if total := st.CacheHits + st.CacheMisses; total > 0 {
 		st.CacheHitRate = float64(st.CacheHits) / float64(total)
+	}
+	if st.CodecEncodedBytes > 0 {
+		st.CompressionRatio = float64(st.CodecRawBytes) / float64(st.CodecEncodedBytes)
 	}
 	return st
 }
