@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the gate a change must pass.
 
-.PHONY: check build test race bench bench-shard bench-observe bench-reshard bench-compress
+.PHONY: check build test race bench bench-shard bench-observe bench-reshard bench-compress bench-query
 
 check:
 	./scripts/check.sh
@@ -39,3 +39,10 @@ bench-reshard:
 # BENCH_compress.json. Gate: compressed cells move fewer blocks than raw.
 bench-compress:
 	go test -run '^TestCompressBenchReport$$' -count=1 -v .
+
+# Query-pipeline overhead: boolean and vector latency through the
+# parse→plan→execute pipeline vs the direct legacy evaluators, plus the
+# unified entry point and BM25, written to BENCH_query.json. Gate: the
+# pipeline adds no measurable overhead to the legacy paths.
+bench-query:
+	go test -run '^TestQueryBenchReport$$' -count=1 -v .

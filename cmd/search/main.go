@@ -2,9 +2,16 @@
 //
 // Usage:
 //
+//	search -index idx/ -q 'incremental inverted lists' -k 10
+//	search -index idx/ -q '"white mouse" and cat* or title:dog' -docs
+//	search -index idx/ -q 'cat and dog' -scoring bm25
 //	search -index idx/ "(cat and dog) or mouse"
 //	search -index idx/ -vector -k 10 "words of a query document"
 //	search -index idx/          # interactive: one query per line on stdin
+//
+// -q takes the unified query language (see the README's "Query language"
+// section) and prints ranked results under -scoring; the legacy flags keep
+// their original entry points and output.
 package main
 
 import (
@@ -26,8 +33,10 @@ func main() {
 	log.SetPrefix("search: ")
 	var (
 		indexDir = flag.String("index", "idx", "index directory")
+		unified  = flag.String("q", "", "unified-language query (phrases, and/or/not, near/k, title:/body:, prefix*); ranked output")
+		scoring  = flag.String("scoring", "", "ranking model for -q and -vector: vector (default) or bm25")
 		vector   = flag.Bool("vector", false, "vector-space ranking instead of boolean")
-		k        = flag.Int("k", 10, "top-k results for vector queries")
+		k        = flag.Int("k", 10, "top-k results for ranked queries")
 		phrase   = flag.Bool("phrase", false, "exact phrase query (requires an index built with documents kept)")
 		near     = flag.Int("near", 0, "proximity window: treat the two query words as 'w1 within N words of w2'")
 		docs     = flag.Bool("docs", false, "keep/load stored documents (enables -phrase and -near)")
@@ -47,6 +56,7 @@ func main() {
 		Codec:         *codec,
 		MmapReads:     *mmap,
 		KeepDocuments: *docs || *phrase || *near > 0,
+		Scoring:       *scoring,
 		SlowQuery:     *slow,
 	}
 	if *metrics != "" {
@@ -72,6 +82,12 @@ func main() {
 		}()
 	}
 
+	if *unified != "" {
+		if err := runUnified(eng, *unified, *k); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if flag.NArg() > 0 {
 		q := strings.Join(flag.Args(), " ")
 		switch {
@@ -98,6 +114,21 @@ func main() {
 			fmt.Println("error:", err)
 		}
 	}
+}
+
+// runUnified evaluates one unified-language query and prints the ranked
+// results with scores.
+func runUnified(eng *dualindex.Engine, q string, k int) error {
+	start := time.Now()
+	matches, err := eng.Query(q, k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d matches in %v\n", len(matches), time.Since(start).Round(time.Microsecond))
+	for i, m := range matches {
+		fmt.Printf("%2d. doc %-8d score %.3f\n", i+1, m.Doc, m.Score)
+	}
+	return nil
 }
 
 func runPhrase(eng *dualindex.Engine, q string) error {

@@ -1,7 +1,13 @@
-// Package query implements the two retrieval models of the paper's
-// information-retrieval workload: a boolean model ("(cat and dog) or
-// mouse"), evaluated by merging sorted inverted lists, and a vector-space
-// model that scores documents by tf·idf over (typically many) query words.
+// Package query implements the retrieval side of the paper's
+// information-retrieval workload as one layered pipeline: a parser producing
+// a single query AST (ast.go, parser.go), a planner lowering the AST into a
+// per-shard executable plan (plan.go), and an executor running the plan
+// against any Source (exec.go), scoring ranked nodes through the paper's
+// vector-space model or BM25 (score.go).
+//
+// This file keeps the original boolean model — the legacy grammar
+// ("(cat and dog) or mouse") and the direct list-merging evaluator — whose
+// behaviour the planner's set-operation lowering mirrors exactly.
 package query
 
 import (
@@ -25,33 +31,8 @@ type PrefixSource interface {
 	WordsWithPrefix(prefix string) []string
 }
 
-// Expr is a parsed boolean query.
-type Expr interface {
-	// String renders the expression canonically.
-	String() string
-}
-
-// Word is a single-word leaf.
-type Word struct{ W string }
-
-// Prefix is a truncation leaf ("inver*"): the union of the lists of every
-// vocabulary word starting with P.
-type Prefix struct{ P string }
-
-// And, Or and Not are the boolean connectives.
-type (
-	And struct{ L, R Expr }
-	Or  struct{ L, R Expr }
-	Not struct{ E Expr }
-)
-
-func (w Word) String() string   { return w.W }
-func (p Prefix) String() string { return p.P + "*" }
-func (a And) String() string    { return fmt.Sprintf("(%s and %s)", a.L, a.R) }
-func (o Or) String() string     { return fmt.Sprintf("(%s or %s)", o.L, o.R) }
-func (n Not) String() string    { return fmt.Sprintf("(not %s)", n.E) }
-
-// Parse parses a boolean query. Grammar (case-insensitive keywords):
+// Parse parses a query in the legacy boolean grammar (case-insensitive
+// keywords):
 //
 //	expr   = term { "or" term }
 //	term   = factor { "and" factor }
@@ -59,6 +40,9 @@ func (n Not) String() string    { return fmt.Sprintf("(not %s)", n.E) }
 //
 // A trailing "*" makes a truncation term ("inver*"), matching every
 // vocabulary word with that prefix.
+//
+// Unlike ParseQuery's unified language, adjacent bare words are an error
+// here, so the boolean entry point keeps rejecting what it always rejected.
 //
 // Queries that are purely negative (e.g. "not cat") parse but fail at
 // evaluation: an inverted index cannot enumerate the complement.
@@ -200,16 +184,24 @@ type result struct {
 // matching documents in ascending order. Negation is supported only where
 // it can be resolved by list difference; a query whose overall answer is a
 // complement ("not cat", "not cat or not dog") returns an error.
+//
+// The planner lowers the same algebra into set-operation steps at plan time
+// (see NewPlan); EvalBoolean remains the direct evaluator for callers that
+// hold an expression and a source.
 func EvalBoolean(e Expr, src Source) (*postings.List, error) {
 	res, err := eval(e, src)
 	if err != nil {
 		return nil, err
 	}
 	if res.negated {
-		return nil, fmt.Errorf("query: answer is a complement; add a positive term")
+		return nil, errComplement
 	}
 	return res.list, nil
 }
+
+// errComplement rejects queries whose answer would be the complement of a
+// list — the executor and the planner report the identical condition.
+var errComplement = fmt.Errorf("query: answer is a complement; add a positive term")
 
 func eval(e Expr, src Source) (result, error) {
 	switch e := e.(type) {
@@ -286,37 +278,4 @@ func eval(e Expr, src Source) (result, error) {
 		}
 	}
 	return result{}, fmt.Errorf("query: unknown expression %T", e)
-}
-
-// Words returns the distinct words of an expression, in first-appearance
-// order — the lists a boolean query must fetch.
-func Words(e Expr) []string {
-	seen := map[string]bool{}
-	var out []string
-	var walk func(Expr)
-	walk = func(e Expr) {
-		switch e := e.(type) {
-		case Word:
-			if !seen[e.W] {
-				seen[e.W] = true
-				out = append(out, e.W)
-			}
-		case Prefix:
-			key := e.P + "*"
-			if !seen[key] {
-				seen[key] = true
-				out = append(out, key)
-			}
-		case And:
-			walk(e.L)
-			walk(e.R)
-		case Or:
-			walk(e.L)
-			walk(e.R)
-		case Not:
-			walk(e.E)
-		}
-	}
-	walk(e)
-	return out
 }

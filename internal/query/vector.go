@@ -1,9 +1,6 @@
 package query
 
 import (
-	"math"
-	"slices"
-
 	"dualindex/internal/postings"
 )
 
@@ -34,36 +31,25 @@ type Match struct {
 
 // EvalVector scores documents against q with tf·idf and returns the top k
 // matches, highest score first (ties broken by ascending document id).
-// totalDocs is the collection size for the idf computation. Inverted lists
-// are used to prune: only documents containing at least one query word are
-// scored, exactly how the paper describes vector systems using inverted
-// lists.
+// totalDocs is the collection size for the idf computation (values below 1
+// are clamped by EffectiveCollectionSize). Inverted lists are used to
+// prune: only documents containing at least one query word are scored,
+// exactly how the paper describes vector systems using inverted lists.
+//
+// The planner's ranked-bag lowering (NewRankedBag) executes this same
+// scoring, so a bag-of-words plan and EvalVector agree term for term.
 func EvalVector(q VectorQuery, src Source, totalDocs int, k int) ([]Match, error) {
 	if k <= 0 || len(q.Terms) == 0 {
 		return nil, nil
 	}
+	total := EffectiveCollectionSize(totalDocs)
 	scores := map[postings.DocID]float64{}
 	for word, weight := range q.Terms {
 		list, err := src.List(word)
 		if err != nil {
 			return nil, err
 		}
-		if list.Len() == 0 {
-			continue
-		}
-		idf := math.Log(1 + float64(totalDocs)/float64(list.Len()))
-		for _, p := range list.Postings() {
-			tf := 1 + math.Log(float64(p.Freq))
-			scores[p.Doc] += weight * tf * idf
-		}
+		scoreList(scores, list, weight, ScoringVector, total)
 	}
-	out := make([]Match, 0, len(scores))
-	for d, s := range scores {
-		out = append(out, Match{Doc: d, Score: s})
-	}
-	slices.SortFunc(out, compareMatches)
-	if len(out) > k {
-		out = out[:k]
-	}
-	return out, nil
+	return rankMatches(scores, k), nil
 }

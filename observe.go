@@ -30,7 +30,7 @@ import (
 // latency exceeded Options.SlowQuery.
 type SlowQueryRecord struct {
 	Time    time.Time     `json:"time"`
-	Kind    string        `json:"kind"` // "boolean" or "vector"
+	Kind    string        `json:"kind"` // one of queryKinds ("boolean", "vector", "query", ...)
 	Query   string        `json:"query"`
 	Dur     time.Duration `json:"dur_ns"`
 	Results int           `json:"results"`
@@ -80,13 +80,11 @@ func newObserver(opts Options) *observer {
 	// trace/slow-log features still work without the registry.
 	o.queryRoute = o.reg.Histogram(`query_phase_seconds{phase="route"}`, nil)
 	o.queryMerge = o.reg.Histogram(`query_phase_seconds{phase="merge"}`, nil)
-	o.queryTotal = map[string]*metrics.Histogram{
-		"boolean": o.reg.Histogram(`query_seconds{kind="boolean"}`, nil),
-		"vector":  o.reg.Histogram(`query_seconds{kind="vector"}`, nil),
-	}
-	o.queryCount = map[string]*metrics.Counter{
-		"boolean": o.reg.Counter(`queries_total{kind="boolean"}`),
-		"vector":  o.reg.Counter(`queries_total{kind="vector"}`),
+	o.queryTotal = make(map[string]*metrics.Histogram, len(queryKinds))
+	o.queryCount = make(map[string]*metrics.Counter, len(queryKinds))
+	for _, kind := range queryKinds {
+		o.queryTotal[kind] = o.reg.Histogram(`query_seconds{kind="`+kind+`"}`, nil)
+		o.queryCount[kind] = o.reg.Counter(`queries_total{kind="` + kind + `"}`)
 	}
 	o.slowTotal = o.reg.Counter("slow_queries_total")
 	o.reshards = o.reg.Counter("reshards_total")
@@ -240,24 +238,33 @@ func (so *shardObs) observeScore(t0 time.Time) {
 	so.o.rec.RecordAt(so.scope, "query.score", "", t0, d)
 }
 
+// queryKinds are the engine's query entry points: the five legacy methods
+// plus the unified-language "query" kind. Each gets its own latency
+// histogram and served counter; the per-phase histograms
+// (query_phase_seconds) stay unlabelled by kind, shared across all of them.
+var queryKinds = []string{"boolean", "vector", "phrase", "near", "region", "query"}
+
 // queryObs measures one engine-level query: route → (per-shard work) →
 // merge, then the total with slow-query bookkeeping. The zero queryObs —
 // what a disabled engine gets — is inert.
 type queryObs struct {
 	o        *observer
+	kind     string
 	t0, last time.Time
 }
 
-// beginQuery starts measuring a query; inert on a nil observer.
-func (o *observer) beginQuery() queryObs {
+// beginQuery starts measuring a query of the given kind; inert on a nil
+// observer.
+func (o *observer) beginQuery(kind string) queryObs {
 	if o == nil {
 		return queryObs{}
 	}
 	now := time.Now()
-	return queryObs{o: o, t0: now, last: now}
+	return queryObs{o: o, kind: kind, t0: now, last: now}
 }
 
-// routeDone marks the end of the route phase (parse + fan-out planning).
+// routeDone marks the end of the route phase (parse + plan + fan-out
+// planning).
 func (q *queryObs) routeDone() {
 	if q.o == nil {
 		return
@@ -265,7 +272,7 @@ func (q *queryObs) routeDone() {
 	now := time.Now()
 	d := now.Sub(q.last)
 	q.o.queryRoute.ObserveDuration(d)
-	q.o.rec.RecordAt("engine", "query.route", "", q.last, d)
+	q.o.rec.RecordAt("engine", "query.route", "kind="+q.kind, q.last, d)
 	q.last = now
 }
 
@@ -280,21 +287,21 @@ func (q *queryObs) mergeStart() {
 
 // finish records the merge phase and the end-to-end query, counting it and
 // feeding the slow-query log when the total crosses the threshold.
-func (q *queryObs) finish(kind, text string, results int) {
+func (q *queryObs) finish(text string, results int) {
 	if q.o == nil {
 		return
 	}
 	now := time.Now()
 	mergeDur := now.Sub(q.last)
 	q.o.queryMerge.ObserveDuration(mergeDur)
-	q.o.rec.RecordAt("engine", "query.merge", "", q.last, mergeDur)
+	q.o.rec.RecordAt("engine", "query.merge", "kind="+q.kind, q.last, mergeDur)
 	total := now.Sub(q.t0)
-	q.o.queryTotal[kind].ObserveDuration(total)
-	q.o.queryCount[kind].Inc()
-	q.o.rec.RecordAt("engine", "query", fmt.Sprintf("kind=%s results=%d", kind, results), q.t0, total)
+	q.o.queryTotal[q.kind].ObserveDuration(total)
+	q.o.queryCount[q.kind].Inc()
+	q.o.rec.RecordAt("engine", "query", fmt.Sprintf("kind=%s results=%d", q.kind, results), q.t0, total)
 	if q.o.slowThreshold > 0 && total >= q.o.slowThreshold {
 		q.o.recordSlow(SlowQueryRecord{
-			Time: q.t0, Kind: kind, Query: text, Dur: total, Results: results,
+			Time: q.t0, Kind: q.kind, Query: text, Dur: total, Results: results,
 		})
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"dualindex/internal/lexer"
 	"dualindex/internal/longlist"
 	"dualindex/internal/postings"
+	"dualindex/internal/query"
 	"dualindex/internal/route"
 )
 
@@ -94,6 +95,16 @@ const (
 	BackendFile = "file"
 )
 
+// Ranked-retrieval scoring models (Options.Scoring).
+const (
+	// ScoringVector is the paper's vector-space model: tf·idf with
+	// tf = 1 + ln(freq) and idf = ln(1 + N/df). The default.
+	ScoringVector = query.ScoringVector
+	// ScoringBM25 is Okapi BM25 (k1 = 1.2, b = 0.75; document lengths are
+	// not stored, so b's length normalization is neutral).
+	ScoringBM25 = query.ScoringBM25
+)
+
 // Long-list block codecs (Options.Codec).
 const (
 	// CodecRaw stores fixed 8-byte postings — the paper's layout, and the
@@ -174,6 +185,11 @@ type Options struct {
 	MmapReads bool
 	// Lexer tokenization options (zero value = the paper's rules).
 	Lexer lexer.Options
+	// Scoring selects the ranked-retrieval model used by Query and
+	// SearchVector: ScoringVector (the default) or ScoringBM25. Scoring is a
+	// query-time choice — both models read the same index, so it can differ
+	// between engines opened on the same directory.
+	Scoring string
 	// KeepDocuments stores the original document text (in memory, or in a
 	// docs.log per shard directory for persistent engines), enabling
 	// Document retrieval and the positional query layer (SearchPhrase,
@@ -254,6 +270,9 @@ func (o Options) withDefaults() Options {
 	if o.SlowQueryLog < 1 {
 		o.SlowQueryLog = 128
 	}
+	if o.Scoring == "" {
+		o.Scoring = ScoringVector
+	}
 	return o
 }
 
@@ -287,6 +306,11 @@ func (o Options) validateStorage() error {
 	case "", CodecRaw, CodecVarint, CodecGolomb:
 	default:
 		return fmt.Errorf("dualindex: unknown codec %q (want %q, %q or %q)", o.Codec, CodecRaw, CodecVarint, CodecGolomb)
+	}
+	switch o.Scoring {
+	case "", ScoringVector, ScoringBM25:
+	default:
+		return fmt.Errorf("dualindex: unknown scoring %q (want %q or %q)", o.Scoring, ScoringVector, ScoringBM25)
 	}
 	if o.Backend == BackendFile && o.Dir == "" {
 		return fmt.Errorf("dualindex: backend %q needs Options.Dir", BackendFile)

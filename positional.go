@@ -10,7 +10,9 @@ import (
 // The positional query layer: phrase, proximity and region conditions from
 // the paper's introduction ("the query may also give additional conditions,
 // such as requiring that cat and dog occur within so many words of each
-// other, or that mouse occur within a title region"). Each shard's inverted
+// other, or that mouse occur within a title region"). Each entry point
+// builds its positional AST leaf and runs the common pipeline: the planner
+// lowers the leaf into a candidate-verification step, each shard's inverted
 // index prunes to candidate documents and its document store verifies
 // positions — the classic candidate-verification design for an
 // abstracts-level index — and the sorted per-shard answers are merged.
@@ -27,120 +29,43 @@ func (e *Engine) Document(id DocID) (text string, ok bool, err error) {
 // SearchPhrase finds documents containing the exact word sequence of
 // phrase (adjacent positions, in order). Requires Options.KeepDocuments.
 func (e *Engine) SearchPhrase(phrase string) ([]DocID, error) {
-	words := lexer.Tokenize(phrase, e.opts.Lexer)
-	if len(words) == 0 {
+	qo := e.obs.beginQuery("phrase")
+	if len(lexer.Tokenize(phrase, e.opts.Lexer)) == 0 {
 		return nil, fmt.Errorf("dualindex: empty phrase")
 	}
-	ordered := orderedWords(phrase, e.opts.Lexer)
-	return e.positional(words, func(toks []lexer.Token) bool {
-		return containsPhrase(toks, ordered)
-	})
+	pl, err := query.NewPlan(query.Phrase{Text: phrase}, query.PlanOptions{Lexer: e.opts.Lexer})
+	if err != nil {
+		return nil, err
+	}
+	return e.searchDocs(qo, phrase, pl)
 }
 
 // SearchNear finds documents where w1 and w2 occur within k words of each
 // other (in either order). Requires Options.KeepDocuments.
 func (e *Engine) SearchNear(w1, w2 string, k int) ([]DocID, error) {
+	qo := e.obs.beginQuery("near")
 	if k < 1 {
 		return nil, fmt.Errorf("dualindex: proximity window %d < 1", k)
 	}
-	a, b := normalizeWord(w1, e.opts.Lexer), normalizeWord(w2, e.opts.Lexer)
-	if a == "" || b == "" {
+	expr := query.Near{A: w1, B: w2, K: k}
+	pl, err := query.NewPlan(expr, query.PlanOptions{Lexer: e.opts.Lexer})
+	if err != nil {
 		return nil, fmt.Errorf("dualindex: bad proximity words %q, %q", w1, w2)
 	}
-	return e.positional([]string{a, b}, func(toks []lexer.Token) bool {
-		return containsNear(toks, a, b, k)
-	})
+	return e.searchDocs(qo, expr.String(), pl)
 }
 
 // SearchInRegion finds documents where word occurs within the named region
 // ("title" or "body"). Requires Options.KeepDocuments.
 func (e *Engine) SearchInRegion(word, region string) ([]DocID, error) {
+	qo := e.obs.beginQuery("region")
 	if region != lexer.RegionTitle && region != lexer.RegionBody {
 		return nil, fmt.Errorf("dualindex: unknown region %q", region)
 	}
-	w := normalizeWord(word, e.opts.Lexer)
-	if w == "" {
+	expr := query.Region{Name: region, W: word}
+	pl, err := query.NewPlan(expr, query.PlanOptions{Lexer: e.opts.Lexer})
+	if err != nil {
 		return nil, fmt.Errorf("dualindex: bad region word %q", word)
 	}
-	return e.positional([]string{w}, func(toks []lexer.Token) bool {
-		for _, tok := range toks {
-			if tok.Word == w && tok.Region == region {
-				return true
-			}
-		}
-		return false
-	})
-}
-
-// positional fans a candidate-verification query out to every shard and
-// merges the sorted per-shard answers. check must be safe for concurrent
-// use (the checkers above only read).
-func (e *Engine) positional(words []string, check func([]lexer.Token) bool) ([]DocID, error) {
-	lists, err := fanOut(e, func(s *shard) ([]DocID, error) {
-		return s.verifyCandidates(words, check)
-	})
-	if err != nil {
-		return nil, err
-	}
-	return query.MergeDocLists(lists), nil
-}
-
-// orderedWords tokenizes a phrase preserving order and duplicates.
-func orderedWords(phrase string, opt lexer.Options) []string {
-	toks := lexer.TokenizePositions(phrase, opt)
-	out := make([]string, len(toks))
-	for i, t := range toks {
-		out[i] = t.Word
-	}
-	return out
-}
-
-func normalizeWord(w string, opt lexer.Options) string {
-	ws := lexer.Tokenize(w, opt)
-	if len(ws) != 1 {
-		return ""
-	}
-	return ws[0]
-}
-
-// containsPhrase reports whether the token sequence contains the words at
-// consecutive positions. Position gaps (from dropped stop words or region
-// boundaries) break adjacency, as they should.
-func containsPhrase(toks []lexer.Token, words []string) bool {
-	if len(words) == 0 {
-		return false
-	}
-outer:
-	for i := 0; i+len(words) <= len(toks); i++ {
-		for j, w := range words {
-			if toks[i+j].Word != w || toks[i+j].Pos != toks[i].Pos+j {
-				continue outer
-			}
-		}
-		return true
-	}
-	return false
-}
-
-// containsNear reports whether a and b occur within k positions.
-func containsNear(toks []lexer.Token, a, b string, k int) bool {
-	lastA, lastB := -1, -1
-	for _, t := range toks {
-		switch t.Word {
-		case a:
-			if lastB >= 0 && t.Pos-lastB <= k {
-				return true
-			}
-			lastA = t.Pos
-			if a == b {
-				lastB = t.Pos
-			}
-		case b:
-			if lastA >= 0 && t.Pos-lastA <= k {
-				return true
-			}
-			lastB = t.Pos
-		}
-	}
-	return false
+	return e.searchDocs(qo, expr.String(), pl)
 }

@@ -31,3 +31,6 @@ echo '== go test -fuzz (seed burst)'
 for target in FuzzVarintRoundTrip FuzzGolombRoundTrip FuzzDecodeArbitrary; do
 	go test -run "^$target\$" -fuzz "^$target\$" -fuzztime 5s ./internal/postings/
 done
+# The unified query parser gets the same treatment: its seed corpus runs as
+# a unit test above, then a short live burst over the grammar.
+go test -run '^FuzzParseQuery$' -fuzz '^FuzzParseQuery$' -fuzztime 5s ./internal/query/

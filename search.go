@@ -5,64 +5,126 @@ import (
 	"dualindex/internal/query"
 )
 
-// Match is a scored vector-query result.
+// The engine's query side is one three-stage pipeline: parse (a query string
+// becomes the query AST), plan (the AST lowers into a shard-executable plan,
+// once per query), execute (every shard runs the same plan concurrently
+// under the snapshot/fan-out machinery, and the sorted per-shard answers are
+// k-way merged). Query is the unified entry point over the whole language;
+// the legacy methods — SearchBoolean, SearchVector and the positional trio
+// in positional.go — are thin wrappers that build their fragment of the AST
+// directly and run the same pipeline.
+
+// Match is a scored query result.
 type Match = query.Match
+
+// Query evaluates a unified-language query and returns the top k documents
+// ranked under Options.Scoring (score descending, ties by ascending
+// document). The language composes everything the legacy entry points split
+// across five methods: bare term lists rank as a bag of words ("incremental
+// inverted lists"), "and"/"or"/"not" add boolean structure, quoted phrases,
+// "near/k" proximity and "title:"/"body:" region filters add positional
+// conditions (these require Options.KeepDocuments), and a trailing "*"
+// truncates. See query.ParseQuery for the grammar.
+func (e *Engine) Query(q string, k int) ([]Match, error) {
+	qo := e.obs.beginQuery("query")
+	expr, err := query.ParseQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := query.NewPlan(expr, query.PlanOptions{
+		Lexer:   e.opts.Lexer,
+		Scoring: e.opts.Scoring,
+		K:       k,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return e.searchRanked(qo, q, pl)
+}
 
 // SearchBoolean evaluates a boolean query such as "(cat and dog) or mouse"
 // and returns the matching documents in ascending order. Truncation terms
 // ("inver*") expand through each shard's B-tree dictionary. Pending
-// documents are visible. The query is parsed once, evaluated on every shard
-// concurrently — each shard fetching its term lists with at most
-// Options.Workers reads in flight — and the sorted per-shard answers are
-// k-way merged.
+// documents are visible. The query is parsed and planned once, executed on
+// every shard concurrently — each shard fetching its term lists with at
+// most Options.Workers reads in flight — and the sorted per-shard answers
+// are k-way merged.
 func (e *Engine) SearchBoolean(q string) ([]DocID, error) {
-	qo := e.obs.beginQuery()
+	qo := e.obs.beginQuery("boolean")
 	expr, err := query.Parse(q)
 	if err != nil {
 		return nil, err
 	}
+	pl, err := query.NewPlan(expr, query.PlanOptions{Lexer: e.opts.Lexer})
+	if err != nil {
+		return nil, err
+	}
+	return e.searchDocs(qo, q, pl)
+}
+
+// SearchVector ranks documents against the words of text (a document-like
+// query, the paper's vector-space workload) and returns the top k under
+// Options.Scoring. Vector queries "often contain many words (more than
+// 100)"; every shard fetches its term lists concurrently (at most
+// Options.Workers reads in flight per shard), scores its own documents, and
+// the per-shard top-k lists are merged into the global top k. Inverse
+// document frequencies use the engine-wide collection size over shard-local
+// list lengths — exact for a single shard, the standard
+// distributed-retrieval approximation otherwise.
+func (e *Engine) SearchVector(text string, k int) ([]Match, error) {
+	qo := e.obs.beginQuery("vector")
+	words := lexer.Tokenize(text, e.opts.Lexer)
+	pl := query.NewRankedBag(words, e.opts.Scoring, k)
+	return e.searchRanked(qo, text, pl)
+}
+
+// searchDocs runs a match-only plan on every shard and merges the sorted
+// per-shard answers.
+func (e *Engine) searchDocs(qo queryObs, text string, pl *query.Plan) ([]DocID, error) {
 	qo.routeDone()
 	lists, err := fanOut(e, func(s *shard) ([]DocID, error) {
-		return s.searchBoolean(expr)
+		return s.execMatch(pl)
 	})
 	if err != nil {
 		return nil, err
 	}
 	qo.mergeStart()
 	docs := query.MergeDocLists(lists)
-	qo.finish("boolean", q, len(docs))
+	qo.finish(text, len(docs))
 	return docs, nil
 }
 
-// SearchVector ranks documents against the words of text (a document-like
-// query, the paper's vector-space workload) and returns the top k. Vector
-// queries "often contain many words (more than 100)"; every shard fetches
-// its term lists concurrently (at most Options.Workers reads in flight per
-// shard), scores its own documents, and the per-shard top-k lists are
-// merged into the global top k. Inverse document frequencies use the
-// engine-wide collection size over shard-local list lengths — exact for a
-// single shard, the standard distributed-retrieval approximation otherwise.
-func (e *Engine) SearchVector(text string, k int) ([]Match, error) {
-	qo := e.obs.beginQuery()
-	words := lexer.Tokenize(text, e.opts.Lexer)
-	e.mu.Lock()
-	total := int(e.nextDoc)
-	e.mu.Unlock()
-	if total == 0 {
-		total = 1
-	}
-	vq := query.FromDocument(words)
+// searchRanked runs a ranked plan on every shard and merges the per-shard
+// top-k lists into the global top k.
+func (e *Engine) searchRanked(qo queryObs, text string, pl *query.Plan) ([]Match, error) {
+	total := e.collectionSize()
 	qo.routeDone()
 	groups, err := fanOut(e, func(s *shard) ([]Match, error) {
-		return s.searchVector(vq, total, k)
+		return s.execRanked(pl, total)
 	})
 	if err != nil {
 		return nil, err
 	}
 	qo.mergeStart()
-	matches := query.MergeMatches(groups, k)
-	qo.finish("vector", text, len(matches))
+	matches := query.MergeMatches(groups, pl.Score.K)
+	qo.finish(text, len(matches))
 	return matches, nil
+}
+
+// collectionSize reports how many documents the engine has seen — the idf
+// numerator. It reads the per-shard high-water marks under the shard-set
+// lock (the same path every query takes), not the document-id allocator's
+// mutex: queries never contend with AddDocument's id assignment.
+func (e *Engine) collectionSize() int {
+	e.stateMu.RLock()
+	defer e.stateMu.RUnlock()
+	var max DocID
+	for _, s := range e.shards {
+		if d := s.maxDoc(); d > max {
+			max = d
+		}
+	}
+	return int(max)
 }
 
 // ReadCost reports how many disk reads a query for word would need — the

@@ -367,18 +367,32 @@ func (src shardSource) WordsWithPrefix(prefix string) []string {
 	return src.s.vocab.WordsWithPrefix(prefix)
 }
 
-// searchBoolean evaluates a parsed boolean expression against this shard and
-// returns its matching documents in ascending order.
-func (s *shard) searchBoolean(expr query.Expr) ([]DocID, error) {
+// prefetchPlan is the shared head of plan execution on this shard: reject
+// plans needing stored documents when there are none, then fetch the plan's
+// term lists with at most Options.Workers reads in flight. Called under
+// s.mu.RLock. The returned source serves the prefetched lists from memory
+// and falls through to the shard for anything else — notably the positional
+// prune lists, which stream lazily so an empty candidate intersection stops
+// reading early.
+func (s *shard) prefetchPlan(pl *query.Plan) (*query.Prefetched, error) {
+	if pl.NeedsDocs && s.docs == nil {
+		return nil, fmt.Errorf("dualindex: positional queries need Options.KeepDocuments")
+	}
+	return query.Prefetch(pl.Fetch, shardSource{s}, s.opts.Workers)
+}
+
+// execMatch runs a match-only plan against this shard and returns its
+// matching documents in ascending order.
+func (s *shard) execMatch(pl *query.Plan) ([]DocID, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	t0 := s.obs.now()
-	src, err := query.PrefetchExpr(expr, shardSource{s}, s.opts.Workers)
+	src, err := s.prefetchPlan(pl)
 	if err != nil {
 		return nil, err
 	}
 	t1 := s.obs.observeFetch(t0)
-	l, err := query.EvalBoolean(expr, src)
+	l, err := query.ExecuteMatch(pl, query.Exec{Src: src, Verify: s.verifyDocs})
 	if err != nil {
 		return nil, err
 	}
@@ -386,20 +400,20 @@ func (s *shard) searchBoolean(expr query.Expr) ([]DocID, error) {
 	return l.Docs(), nil
 }
 
-// searchVector ranks this shard's documents against the query and returns
-// its local top k. totalDocs is the engine-wide collection size, so the idf
-// numerator is global; document frequencies are shard-local (the standard
+// execRanked runs a ranked plan against this shard and returns its local
+// top k. totalDocs is the engine-wide collection size, so the idf numerator
+// is global; document frequencies are shard-local (the standard
 // distributed-retrieval approximation — exact for a single shard).
-func (s *shard) searchVector(vq query.VectorQuery, totalDocs, k int) ([]Match, error) {
+func (s *shard) execRanked(pl *query.Plan, totalDocs int) ([]Match, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	t0 := s.obs.now()
-	src, err := query.PrefetchVector(vq, shardSource{s}, s.opts.Workers)
+	src, err := s.prefetchPlan(pl)
 	if err != nil {
 		return nil, err
 	}
 	t1 := s.obs.observeFetch(t0)
-	ms, err := query.EvalVector(vq, src, totalDocs, k)
+	ms, err := query.ExecuteRanked(pl, query.Exec{Src: src, Total: totalDocs, Verify: s.verifyDocs})
 	if err != nil {
 		return nil, err
 	}
@@ -506,32 +520,15 @@ func (s *shard) document(id postings.DocID) (text string, ok bool, err error) {
 	return s.docs.Get(id)
 }
 
-// verifyCandidates intersects the shard's inverted lists of words (the
-// index-level prune) and keeps the candidates whose stored text satisfies
-// check — the positional query layer's per-shard half.
-func (s *shard) verifyCandidates(words []string, check func([]lexer.Token) bool) ([]DocID, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+// verifyDocs is the document-text half of candidate verification (the
+// executor's VerifyFunc): it keeps the candidates whose stored positional
+// tokens satisfy check. Called under s.mu.RLock, from plan execution.
+func (s *shard) verifyDocs(candidates []DocID, check func([]lexer.Token) bool) ([]DocID, error) {
 	if s.docs == nil {
 		return nil, fmt.Errorf("dualindex: positional queries need Options.KeepDocuments")
 	}
-	var candidates *postings.List
-	for _, w := range words {
-		l, err := s.list(w)
-		if err != nil {
-			return nil, err
-		}
-		if candidates == nil {
-			candidates = l
-		} else {
-			candidates = postings.Intersect(candidates, l)
-		}
-		if candidates.Len() == 0 {
-			return nil, nil
-		}
-	}
 	var out []DocID
-	for _, d := range candidates.Docs() {
+	for _, d := range candidates {
 		text, ok, err := s.docs.Get(d)
 		if err != nil {
 			return nil, err
@@ -544,6 +541,14 @@ func (s *shard) verifyCandidates(words []string, check func([]lexer.Token) bool)
 		}
 	}
 	return out, nil
+}
+
+// maxDoc reports the largest document identifier this shard has seen — the
+// per-shard half of Engine.collectionSize.
+func (s *shard) maxDoc() DocID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.lastDoc
 }
 
 // close releases the shard's resources, persisting the vocabulary first for
