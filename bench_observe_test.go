@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"os"
 	"testing"
+	"time"
 
 	"dualindex/internal/disk"
 )
@@ -113,6 +114,79 @@ func BenchmarkObserveQuery(b *testing.B) {
 	b.Run("on", func(b *testing.B) { benchObserveQuery(b, true) })
 }
 
+// benchChurnRounds is how many add-flush-delete rounds the churn comparison
+// runs: enough that dead postings pile up without maintenance.
+const benchChurnRounds = 8
+
+// churnResult is one side of the maintenance comparison: how long the churn
+// workload took and what state it left the index in.
+type churnResult struct {
+	NsRound       int64            `json:"ns_round"`
+	DeadFraction  float64          `json:"dead_fraction"`
+	LoadFactor    float64          `json:"max_bucket_load_factor"`
+	Deleted       int64            `json:"deleted"`
+	MaintainRuns  map[string]int64 `json:"maintenance_runs,omitempty"`
+	MaintainTicks int64            `json:"maintenance_ticks,omitempty"`
+}
+
+// benchObserveChurn runs a delete-heavy churn workload — every round adds
+// the corpus, flushes it and deletes half — with or without the maintenance
+// controller, and reports the time per round and the final index state. The
+// maintained engine sweeps as it goes; the unmaintained one accumulates dead
+// postings until someone calls Sweep by hand.
+func benchObserveChurn(t *testing.T, maintained bool) churnResult {
+	opts := benchObserveOpts(true)
+	th := MaintenanceOptions{
+		Interval:        2 * time.Millisecond,
+		MaxDeadFraction: 0.25,
+		MinDeadDocs:     64,
+	}
+	if maintained {
+		opts.Maintenance = &th
+	}
+	eng, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	start := time.Now()
+	for round := 0; round < benchChurnRounds; round++ {
+		var ids []DocID
+		for _, text := range benchObserveCorpus {
+			ids = append(ids, eng.AddDocument(text))
+		}
+		if _, err := eng.FlushBatch(); err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range ids[:len(ids)/2] {
+			eng.Delete(id)
+		}
+	}
+	elapsed := time.Since(start)
+
+	res := churnResult{NsRound: elapsed.Nanoseconds() / benchChurnRounds}
+	if maintained {
+		// Give the controller a bounded window to drain what the last
+		// round left behind — convergence below the sweep threshold, not a
+		// fixed sleep. (It may not reach zero: a residue under
+		// MaxDeadFraction/MinDeadDocs is exactly what the controller is
+		// thresholded to leave alone.)
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) && eng.Stats().DeadFraction > th.MaxDeadFraction {
+			time.Sleep(2 * time.Millisecond)
+		}
+		st := eng.Maintenance()
+		res.MaintainRuns = st.Runs
+		res.MaintainTicks = st.Ticks
+	}
+	s := eng.Stats()
+	res.DeadFraction = s.DeadFraction
+	res.LoadFactor = s.MaxBucketLoadFactor
+	res.Deleted = int64(s.Deleted)
+	return res
+}
+
 // observeBenchReport is the schema of BENCH_observe.json. Overheads are
 // (enabled − disabled) / disabled.
 type observeBenchReport struct {
@@ -120,6 +194,10 @@ type observeBenchReport struct {
 	QueryNsOp        map[string]int64 `json:"query_ns_op"`
 	FlushOverheadPct float64          `json:"flush_overhead_pct"`
 	QueryOverheadPct float64          `json:"query_overhead_pct"`
+	// Churn compares the delete-heavy workload with the maintenance
+	// controller off and on: the controller must have swept the dead
+	// postings away by the end of the maintained run.
+	Churn map[string]churnResult `json:"churn"`
 }
 
 // TestObserveBenchReport measures the flush and query workloads with
@@ -143,6 +221,10 @@ func TestObserveBenchReport(t *testing.T) {
 	}
 	rep.FlushOverheadPct = 100 * (float64(rep.FlushNsOp["on"]) - float64(rep.FlushNsOp["off"])) / float64(rep.FlushNsOp["off"])
 	rep.QueryOverheadPct = 100 * (float64(rep.QueryNsOp["on"]) - float64(rep.QueryNsOp["off"])) / float64(rep.QueryNsOp["off"])
+	rep.Churn = map[string]churnResult{
+		"off": benchObserveChurn(t, false),
+		"on":  benchObserveChurn(t, true),
+	}
 
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -160,5 +242,31 @@ func TestObserveBenchReport(t *testing.T) {
 	}
 	if rep.QueryOverheadPct > 15 {
 		t.Errorf("query overhead %.2f%% exceeds the budget", rep.QueryOverheadPct)
+	}
+
+	// The maintained run must demonstrate the controller closing the loop:
+	// it swept at least once and drained the dead postings the churn
+	// accumulated, while the unmaintained run is left holding them.
+	off, on := rep.Churn["off"], rep.Churn["on"]
+	t.Logf("churn: off dead_fraction %.3f (%d deleted), on dead_fraction %.3f after %v sweeps",
+		off.DeadFraction, off.Deleted, on.DeadFraction, on.MaintainRuns["sweep"])
+	if off.Deleted == 0 {
+		t.Error("unmaintained churn left no dead postings; the workload exercises nothing")
+	}
+	if on.MaintainRuns["sweep"] == 0 {
+		t.Error("maintained churn: the controller never swept")
+	}
+	// The controller's contract is convergence below its threshold (0.25
+	// here), not zero: a sub-threshold residue is what it is tuned to
+	// tolerate. The unmaintained run sits far above it.
+	if on.DeadFraction > 0.25 {
+		t.Errorf("maintained dead fraction %.3f did not converge below the 0.25 threshold", on.DeadFraction)
+	}
+	if off.DeadFraction <= 0.25 {
+		t.Errorf("unmaintained dead fraction %.3f below threshold; the workload exercises nothing", off.DeadFraction)
+	}
+	if on.DeadFraction >= off.DeadFraction {
+		t.Errorf("maintained dead fraction %.3f not below unmaintained %.3f",
+			on.DeadFraction, off.DeadFraction)
 	}
 }

@@ -42,7 +42,8 @@ func main() {
 		keepDocs  = flag.Bool("keepdocs", false, "keep document text in the index (required for -reshard and positional queries)")
 		reshard   = flag.Int("reshard", 0, "reshard the existing index to this many shards and exit (requires an index built with -keepdocs)")
 		check     = flag.Bool("check", true, "run the consistency check after the build")
-		metrics   = flag.String("metrics", "", "serve /metrics, /stats, /trace and /debug/pprof on this address (e.g. localhost:6060); enables instrumentation")
+		metrics   = flag.String("metrics", "", "serve /metrics, /stats, /trace, /maintenance, /healthz and /debug/pprof on this address (e.g. localhost:6060); enables instrumentation")
+		maintain  = flag.Duration("maintain", 0, "run the background maintenance controller at this interval (e.g. 5s); 0 disables it")
 	)
 	flag.Parse()
 	if *reshard > 0 {
@@ -52,7 +53,7 @@ func main() {
 		return
 	}
 	storage := storageOpts{backend: *backend, codec: *codec, mmap: *mmapReads}
-	if err := run(*corpusDir, *indexDir, *policy, *buckets, *bsize, *shards, *routing, storage, *keepDocs, *check, *metrics); err != nil {
+	if err := run(*corpusDir, *indexDir, *policy, *buckets, *bsize, *shards, *routing, storage, *keepDocs, *check, *metrics, *maintain); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -87,19 +88,42 @@ func runReshard(indexDir string, n int) error {
 
 // serveObs starts the observability endpoint for eng on addr, in the
 // background; build failures surface on the log only, since a broken metrics
-// listener should not kill a running build.
-func serveObs(eng *dualindex.Engine, addr string) {
-	h := obshttp.New(obshttp.Config{
+// listener should not kill a running build. maintenance says whether the
+// engine runs the maintenance controller — without it, /maintenance answers
+// 404, the endpoint convention for disabled features.
+func serveObs(eng *dualindex.Engine, addr string, maintenance bool) {
+	cfg := obshttp.Config{
 		Registry:    eng.Metrics(),
 		Stats:       func() any { return eng.Stats() },
+		ShardStats:  func() []any { return shardStatsAny(eng) },
 		Tracer:      eng.Tracer(),
 		SlowQueries: func() any { return eng.SlowQueries() },
-	})
+		Health:      func() obshttp.HealthState { return healthState(eng) },
+	}
+	if maintenance {
+		cfg.Maintenance = func() any { return eng.Maintenance() }
+	}
 	go func() {
-		if err := http.ListenAndServe(addr, h); err != nil {
+		if err := http.ListenAndServe(addr, obshttp.New(cfg)); err != nil {
 			log.Printf("metrics endpoint: %v", err)
 		}
 	}()
+}
+
+// shardStatsAny and healthState adapt the engine's typed answers to the
+// handler's generic config.
+func shardStatsAny(eng *dualindex.Engine) []any {
+	sts := eng.ShardStats()
+	out := make([]any, len(sts))
+	for i, st := range sts {
+		out[i] = st
+	}
+	return out
+}
+
+func healthState(eng *dualindex.Engine) obshttp.HealthState {
+	h := eng.Health()
+	return obshttp.HealthState{Healthy: h.Healthy, Ready: h.Ready, Reasons: h.Reasons}
 }
 
 func policyByName(name string) (dualindex.Policy, error) {
@@ -116,7 +140,7 @@ func policyByName(name string) (dualindex.Policy, error) {
 	return dualindex.Policy{}, fmt.Errorf("unknown policy %q", name)
 }
 
-func run(corpusDir, indexDir, policyName string, buckets, bucketSize, shards int, routing string, storage storageOpts, keepDocs, check bool, metricsAddr string) error {
+func run(corpusDir, indexDir, policyName string, buckets, bucketSize, shards int, routing string, storage storageOpts, keepDocs, check bool, metricsAddr string, maintainEvery time.Duration) error {
 	pol, err := policyByName(policyName)
 	if err != nil {
 		return err
@@ -146,13 +170,16 @@ func run(corpusDir, indexDir, policyName string, buckets, bucketSize, shards int
 		opts.Metrics = true
 		opts.TraceBuffer = 4096
 	}
+	if maintainEvery > 0 {
+		opts.Maintenance = &dualindex.MaintenanceOptions{Interval: maintainEvery}
+	}
 	eng, err := dualindex.Open(opts)
 	if err != nil {
 		return err
 	}
 	defer eng.Close()
 	if metricsAddr != "" {
-		serveObs(eng, metricsAddr)
+		serveObs(eng, metricsAddr, maintainEvery > 0)
 	}
 
 	// Resume: skip the batches already applied.

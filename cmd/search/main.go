@@ -44,8 +44,9 @@ func main() {
 		backend  = flag.String("backend", "", "block-store backend (empty adopts the index's manifest — the usual choice)")
 		codec    = flag.String("codec", "", "long-list block codec (empty adopts the index's manifest — the usual choice)")
 		mmap     = flag.Bool("mmap", false, "serve file-backend reads through a shared mmap where supported")
-		metrics  = flag.String("metrics", "", "serve /metrics, /stats, /trace and /debug/pprof on this address (e.g. localhost:6060); enables instrumentation")
+		metrics  = flag.String("metrics", "", "serve /metrics, /stats, /trace, /maintenance, /healthz and /debug/pprof on this address (e.g. localhost:6060); enables instrumentation")
 		slow     = flag.Duration("slow", 0, "log queries slower than this duration (view on the -metrics endpoint's /slow)")
+		maintain = flag.Duration("maintain", 0, "run the background maintenance controller at this interval (e.g. 5s); 0 disables it")
 	)
 	flag.Parse()
 
@@ -63,20 +64,38 @@ func main() {
 		opts.Metrics = true
 		opts.TraceBuffer = 4096
 	}
+	if *maintain > 0 {
+		opts.Maintenance = &dualindex.MaintenanceOptions{Interval: *maintain}
+	}
 	eng, err := dualindex.Open(opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer eng.Close()
 	if *metrics != "" {
-		h := obshttp.New(obshttp.Config{
-			Registry:    eng.Metrics(),
-			Stats:       func() any { return eng.Stats() },
+		cfg := obshttp.Config{
+			Registry: eng.Metrics(),
+			Stats:    func() any { return eng.Stats() },
+			ShardStats: func() []any {
+				sts := eng.ShardStats()
+				out := make([]any, len(sts))
+				for i, st := range sts {
+					out[i] = st
+				}
+				return out
+			},
 			Tracer:      eng.Tracer(),
 			SlowQueries: func() any { return eng.SlowQueries() },
-		})
+			Health: func() obshttp.HealthState {
+				h := eng.Health()
+				return obshttp.HealthState{Healthy: h.Healthy, Ready: h.Ready, Reasons: h.Reasons}
+			},
+		}
+		if *maintain > 0 {
+			cfg.Maintenance = func() any { return eng.Maintenance() }
+		}
 		go func() {
-			if err := http.ListenAndServe(*metrics, h); err != nil {
+			if err := http.ListenAndServe(*metrics, obshttp.New(cfg)); err != nil {
 				log.Printf("metrics endpoint: %v", err)
 			}
 		}()

@@ -31,7 +31,9 @@ package dualindex
 
 import (
 	"sync"
+	"sync/atomic"
 
+	"dualindex/internal/maintain"
 	"dualindex/internal/postings"
 	"dualindex/internal/route"
 )
@@ -69,6 +71,16 @@ type Engine struct {
 
 	mu      sync.Mutex // guards nextDoc
 	nextDoc postings.DocID
+
+	// maint is the background maintenance controller, nil unless
+	// Options.Maintenance is set (see maintain.go and internal/maintain).
+	maint *maintain.Controller
+
+	// closed and resharding feed the Health states: closed flips at Close,
+	// resharding brackets a running Engine.Reshard (ready = open, not
+	// resharding, maintenance not backlogged).
+	closed     atomic.Bool
+	resharding atomic.Bool
 }
 
 // shardFor returns the shard owning the document. The caller must hold
@@ -264,7 +276,13 @@ func (e *Engine) CheckConsistency() error {
 // Close releases the engine's resources, persisting each shard's vocabulary
 // first for on-disk engines. All shards are closed even if one fails; the
 // first error is returned. Close waits for a running reshard to finish.
+// The maintenance controller (if any) is stopped first — before any shard
+// store closes — so no maintenance action can run against a closing shard.
 func (e *Engine) Close() error {
+	if e.maint != nil {
+		e.maint.Stop()
+	}
+	e.closed.Store(true)
 	e.reshardMu.RLock()
 	defer e.reshardMu.RUnlock()
 	e.stateMu.RLock()

@@ -1,7 +1,9 @@
 // Package obshttp serves an engine's observability surface over HTTP: the
 // metrics registry as Prometheus text on /metrics and as JSON on
-// /metrics.json, caller-supplied statistics as JSON on /stats, the span
-// recorder as JSONL on /trace, the slow-query log as JSON on /slow, and the
+// /metrics.json, caller-supplied statistics as JSON on /stats (per shard
+// with ?shard=i), the span recorder as JSONL on /trace, the slow-query log
+// as JSON on /slow, the maintenance controller's status and decision log on
+// /maintenance, liveness and readiness on /healthz and /readyz, and the
 // standard runtime profiles under /debug/pprof/. Endpoints whose feature is
 // disabled answer 404, so one handler fits any Options combination.
 //
@@ -14,10 +16,20 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 
 	"dualindex/internal/metrics"
 	"dualindex/internal/trace"
 )
+
+// HealthState is what /healthz and /readyz report: liveness, readiness and
+// the reasons for any false answer. The field layout mirrors
+// dualindex.Health so a caller can convert field by field.
+type HealthState struct {
+	Healthy bool     `json:"healthy"`
+	Ready   bool     `json:"ready"`
+	Reasons []string `json:"reasons,omitempty"`
+}
 
 // Config says what to expose. Nil fields disable their endpoints.
 type Config struct {
@@ -27,12 +39,22 @@ type Config struct {
 	// Stats backs /stats; called per request, encoded as JSON. Wire it to
 	// Engine.Stats.
 	Stats func() any
+	// ShardStats backs /stats?shard=i (one shard's statistics) and, when
+	// Registry is also set, a "shards" array in /metrics.json. Wire it to
+	// Engine.ShardStats.
+	ShardStats func() []any
 	// Tracer backs /trace: the recorder's buffered spans, oldest first,
 	// one JSON object per line.
 	Tracer *trace.Recorder
 	// SlowQueries backs /slow; called per request, encoded as JSON. Wire
 	// it to Engine.SlowQueries.
 	SlowQueries func() any
+	// Maintenance backs /maintenance; called per request, encoded as JSON.
+	// Wire it to Engine.Maintenance.
+	Maintenance func() any
+	// Health backs /healthz and /readyz: 200 when the picked state is true,
+	// 503 with the reasons otherwise. Wire it to Engine.Health.
+	Health func() HealthState
 }
 
 // New builds the handler for cfg.
@@ -51,15 +73,65 @@ func New(cfg Config) http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		writeJSON(w, cfg.Registry.Snapshot())
+		snap := cfg.Registry.Snapshot()
+		if cfg.ShardStats != nil {
+			snap["shards"] = cfg.ShardStats()
+		}
+		writeJSON(w, snap)
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if q := r.URL.Query().Get("shard"); q != "" {
+			if cfg.ShardStats == nil {
+				http.NotFound(w, r)
+				return
+			}
+			i, err := strconv.Atoi(q)
+			if err != nil || i < 0 {
+				http.Error(w, fmt.Sprintf("bad shard %q: want a non-negative integer", q), http.StatusBadRequest)
+				return
+			}
+			shards := cfg.ShardStats()
+			if i >= len(shards) {
+				http.Error(w, fmt.Sprintf("no shard %d: the engine has %d", i, len(shards)), http.StatusNotFound)
+				return
+			}
+			writeJSON(w, shards[i])
+			return
+		}
 		if cfg.Stats == nil {
 			http.NotFound(w, r)
 			return
 		}
 		writeJSON(w, cfg.Stats())
 	})
+	mux.HandleFunc("/maintenance", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Maintenance == nil {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, cfg.Maintenance())
+	})
+	// /healthz answers liveness, /readyz readiness; both encode the full
+	// health state, with 503 when their own dimension is false — the shape
+	// load balancers and orchestration probes expect.
+	health := func(pick func(HealthState) bool) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if cfg.Health == nil {
+				http.NotFound(w, r)
+				return
+			}
+			h := cfg.Health()
+			w.Header().Set("Content-Type", "application/json")
+			if !pick(h) {
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(h)
+		}
+	}
+	mux.HandleFunc("/healthz", health(func(h HealthState) bool { return h.Healthy }))
+	mux.HandleFunc("/readyz", health(func(h HealthState) bool { return h.Ready }))
 	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
 		if cfg.SlowQueries == nil {
 			http.NotFound(w, r)
@@ -92,7 +164,7 @@ func New(cfg Config) http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "dualindex observability: /metrics /metrics.json /stats /slow /trace /debug/pprof/\n")
+		fmt.Fprint(w, "dualindex observability: /metrics /metrics.json /stats /stats?shard=i /slow /trace /maintenance /healthz /readyz /debug/pprof/\n")
 	})
 	return mux
 }

@@ -109,12 +109,112 @@ func TestHandlerEndpoints(t *testing.T) {
 func TestHandlerDisabledFeatures(t *testing.T) {
 	srv := httptest.NewServer(New(Config{}))
 	defer srv.Close()
-	for _, path := range []string{"/metrics", "/metrics.json", "/stats", "/slow", "/trace"} {
+	for _, path := range []string{
+		"/metrics", "/metrics.json", "/stats", "/stats?shard=0",
+		"/slow", "/trace", "/maintenance", "/healthz", "/readyz",
+	} {
 		if code, _, _ := get(t, srv, path); code != 404 {
 			t.Errorf("%s with no backing feature: code %d, want 404", path, code)
 		}
 	}
 	if code, _, _ := get(t, srv, "/debug/pprof/cmdline"); code != 200 {
 		t.Errorf("pprof should always serve, got %d", code)
+	}
+}
+
+// TestShardStatsEndpoint pins the per-shard statistics surface: /stats?shard=i
+// selects one shard, bad selectors answer 400/404, and /metrics.json grows a
+// "shards" array when both the registry and the per-shard source are wired.
+func TestShardStatsEndpoint(t *testing.T) {
+	reg := metrics.NewRegistry("testns")
+	srv := httptest.NewServer(New(Config{
+		Registry: reg,
+		Stats:    func() any { return map[string]int{"docs": 42} },
+		ShardStats: func() []any {
+			return []any{
+				map[string]int{"shard": 0, "docs": 30},
+				map[string]int{"shard": 1, "docs": 12},
+			}
+		},
+	}))
+	defer srv.Close()
+
+	code, ctype, body := get(t, srv, "/stats?shard=1")
+	if code != 200 || !strings.Contains(ctype, "application/json") || !strings.Contains(body, `"docs": 12`) {
+		t.Errorf("/stats?shard=1: code %d type %q body %q", code, ctype, body)
+	}
+	// Without the selector, /stats stays the engine-wide answer.
+	if code, _, body = get(t, srv, "/stats"); code != 200 || !strings.Contains(body, `"docs": 42`) {
+		t.Errorf("/stats: code %d body %q", code, body)
+	}
+	for path, want := range map[string]int{
+		"/stats?shard=2":    404, // out of range
+		"/stats?shard=-1":   400,
+		"/stats?shard=zero": 400,
+	} {
+		if code, _, _ = get(t, srv, path); code != want {
+			t.Errorf("%s: code %d, want %d", path, code, want)
+		}
+	}
+
+	code, _, body = get(t, srv, "/metrics.json")
+	var snap map[string]any
+	if code != 200 || json.Unmarshal([]byte(body), &snap) != nil {
+		t.Fatalf("/metrics.json: code %d, body %q", code, body)
+	}
+	shards, ok := snap["shards"].([]any)
+	if !ok || len(shards) != 2 {
+		t.Errorf("/metrics.json shards = %v", snap["shards"])
+	}
+}
+
+// TestMaintenanceEndpoint pins /maintenance: the wired status function's
+// answer, as JSON.
+func TestMaintenanceEndpoint(t *testing.T) {
+	srv := httptest.NewServer(New(Config{
+		Maintenance: func() any {
+			return map[string]any{"enabled": true, "runs": map[string]int{"sweep": 3}}
+		},
+	}))
+	defer srv.Close()
+	code, ctype, body := get(t, srv, "/maintenance")
+	if code != 200 || !strings.Contains(ctype, "application/json") ||
+		!strings.Contains(body, `"sweep": 3`) {
+		t.Errorf("/maintenance: code %d type %q body %q", code, ctype, body)
+	}
+}
+
+// TestHealthEndpoints pins /healthz and /readyz: each answers 200 or 503 by
+// its own dimension, and both carry the full health state as a JSON body.
+func TestHealthEndpoints(t *testing.T) {
+	state := HealthState{Healthy: true, Ready: true}
+	srv := httptest.NewServer(New(Config{
+		Health: func() HealthState { return state },
+	}))
+	defer srv.Close()
+
+	for _, path := range []string{"/healthz", "/readyz"} {
+		code, ctype, body := get(t, srv, path)
+		if code != 200 || !strings.Contains(ctype, "application/json") ||
+			!strings.Contains(body, `"healthy": true`) {
+			t.Errorf("%s healthy: code %d type %q body %q", path, code, ctype, body)
+		}
+	}
+
+	// Alive but not ready — a reshard or a maintenance backlog: liveness
+	// stays 200, readiness drops to 503 with the reason in the body.
+	state = HealthState{Healthy: true, Ready: false, Reasons: []string{"resharding"}}
+	if code, _, _ := get(t, srv, "/healthz"); code != 200 {
+		t.Errorf("/healthz while not ready: code %d, want 200", code)
+	}
+	code, ctype, body := get(t, srv, "/readyz")
+	if code != 503 || !strings.Contains(ctype, "application/json") ||
+		!strings.Contains(body, "resharding") {
+		t.Errorf("/readyz not ready: code %d type %q body %q", code, ctype, body)
+	}
+
+	state = HealthState{Healthy: false, Ready: false, Reasons: []string{"engine closed"}}
+	if code, _, body = get(t, srv, "/healthz"); code != 503 || !strings.Contains(body, "engine closed") {
+		t.Errorf("/healthz closed: code %d body %q", code, body)
 	}
 }

@@ -1,0 +1,147 @@
+package dualindex
+
+import (
+	"dualindex/internal/maintain"
+)
+
+// This file wires the engine to internal/maintain: the public option and
+// status types, the Health states, and the Target implementation the
+// controller drives. The controller itself — thresholds, decision loop,
+// decision log, its own instrumentation — lives in internal/maintain; the
+// engine's job here is to expose its observability signals honestly and to
+// accept maintenance actions only when they cannot collide with a flush or
+// a reshard (try-locks, answering maintain.ErrBusy otherwise).
+
+// MaintenanceOptions configure the background maintenance controller
+// (Options.Maintenance): the polling interval, the load-factor and
+// dead-fraction thresholds that trigger RebalanceBuckets/Sweep per shard,
+// and the pressure signals (slow-query rate, cache hit rate, flush p95)
+// that buy maintenance earlier when queries degrade. The zero value of
+// every field means "default" — &MaintenanceOptions{} is a sensible
+// configuration.
+type MaintenanceOptions = maintain.Thresholds
+
+// MaintenanceStatus is the controller's self-description: thresholds,
+// run/deferral counters, backlog and the bounded decision log. Served by
+// internal/obshttp's /maintenance endpoint.
+type MaintenanceStatus = maintain.Status
+
+// Maintenance reports the background maintenance controller's status. With
+// Options.Maintenance nil (the default) it reports Enabled false.
+func (e *Engine) Maintenance() MaintenanceStatus {
+	return e.maint.Status()
+}
+
+// Health describes the engine's liveness and readiness — what /healthz and
+// /readyz serve. Healthy means the engine is open; Ready additionally
+// means no reshard is migrating the shard set and the maintenance
+// controller (when enabled) is not backlogged behind deferred work.
+type Health struct {
+	Healthy bool     `json:"healthy"`
+	Ready   bool     `json:"ready"`
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// Health reports the engine's current health states.
+func (e *Engine) Health() Health {
+	h := Health{Healthy: true, Ready: true}
+	if e.closed.Load() {
+		return Health{Reasons: []string{"engine closed"}}
+	}
+	if e.resharding.Load() {
+		h.Ready = false
+		h.Reasons = append(h.Reasons, "reshard in progress")
+	}
+	if e.maint.Backlogged() {
+		h.Ready = false
+		h.Reasons = append(h.Reasons, "maintenance backlogged")
+	}
+	return h
+}
+
+// engineTarget implements maintain.Target over the engine. Signal reads
+// take the same shared locks as queries; actions additionally try-lock the
+// reshard gate and the shard's flush lock, so a maintenance action never
+// queues behind a flush or a reshard — it defers.
+type engineTarget struct{ e *Engine }
+
+func (t engineTarget) NumShards() int {
+	t.e.stateMu.RLock()
+	defer t.e.stateMu.RUnlock()
+	return len(t.e.shards)
+}
+
+func (t engineTarget) EngineSignals() maintain.EngineSignals {
+	e := t.e
+	es := maintain.EngineSignals{SlowQueries: e.obs.slowCount()}
+	e.stateMu.RLock()
+	defer e.stateMu.RUnlock()
+	var hits, misses int64
+	for _, s := range e.shards {
+		if s.cache != nil {
+			cs := s.cache.Stats()
+			hits += cs.Hits
+			misses += cs.Misses
+		}
+		if p := s.obs.flushP95(); p > es.FlushP95 {
+			es.FlushP95 = p
+		}
+	}
+	if total := hits + misses; total > 0 {
+		es.CacheHitRate = float64(hits) / float64(total)
+	}
+	return es
+}
+
+func (t engineTarget) ShardSignals(i int) (maintain.ShardSignals, bool) {
+	s := t.e.shardAt(i)
+	if s == nil {
+		return maintain.ShardSignals{}, false
+	}
+	return s.maintainSignals(i), true
+}
+
+// SweepShard sweeps one shard if neither a reshard nor that shard's flush
+// is in the way; maintain.ErrBusy otherwise.
+func (t engineTarget) SweepShard(i int) error {
+	e := t.e
+	if !e.reshardMu.TryRLock() {
+		return maintain.ErrBusy
+	}
+	defer e.reshardMu.RUnlock()
+	e.stateMu.RLock()
+	defer e.stateMu.RUnlock()
+	if i < 0 || i >= len(e.shards) {
+		return maintain.ErrBusy // shard set changed under a reshard; re-read next tick
+	}
+	return e.shards[i].trySweep()
+}
+
+// RebalanceShard rebalances one shard's bucket space to the given geometry
+// under the same non-blocking discipline as SweepShard.
+func (t engineTarget) RebalanceShard(i, buckets, bucketSize int) error {
+	e := t.e
+	if !e.reshardMu.TryRLock() {
+		return maintain.ErrBusy
+	}
+	defer e.reshardMu.RUnlock()
+	e.stateMu.RLock()
+	defer e.stateMu.RUnlock()
+	if i < 0 || i >= len(e.shards) {
+		return maintain.ErrBusy
+	}
+	return e.shards[i].tryRebalance(buckets, bucketSize)
+}
+
+// deadFraction is the dead-posting signal: deleted documents over indexed
+// documents. The denominator floors at the numerator so an index whose
+// indexed count is unknown (reopened without a document store) reports 1.0
+// when deletions exist — sweeping is always correct, so the unknown case
+// errs toward sweeping.
+func deadFraction(indexed, deleted int) float64 {
+	denom := max(indexed, deleted)
+	if denom == 0 {
+		return 0
+	}
+	return float64(deleted) / float64(denom)
+}

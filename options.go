@@ -233,6 +233,18 @@ type Options struct {
 	// latency log of the whole run. Writes happen inline on the recording
 	// path; hand it a buffered or asynchronous writer for hot workloads.
 	TraceSink io.Writer
+	// Maintenance, when non-nil, runs the metrics-driven background
+	// maintenance controller (internal/maintain): a goroutine that watches
+	// the engine's own observability signals — per-shard bucket load
+	// factors, dead-posting fractions, flush p95s, the cache hit rate and
+	// the slow-query rate — against these thresholds and schedules
+	// RebalanceBuckets/Sweep shard by shard in the gaps between flushes.
+	// &MaintenanceOptions{} enables it with defaults; nil (the default)
+	// disables it, spawning nothing — the simulated I/O traces are
+	// byte-identical to an engine without the controller. The controller's
+	// status, decision log and backlog are served by Engine.Maintenance and
+	// internal/obshttp's /maintenance endpoint.
+	Maintenance *MaintenanceOptions
 
 	// newStore overrides the in-memory block-store constructor for each
 	// shard; package benchmarks inject latency-modelled stores through it.

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"dualindex/internal/disk"
+	"dualindex/internal/maintain"
 	"dualindex/internal/manifest"
 	"dualindex/internal/route"
 	"dualindex/internal/vocab"
@@ -85,6 +86,19 @@ func Open(opts Options) (*Engine, error) {
 		}
 	}
 	e.registerShardFuncs()
+	if opts.Maintenance != nil {
+		ctl, err := maintain.New(engineTarget{e}, maintain.Config{
+			Thresholds: *opts.Maintenance,
+			Registry:   e.Metrics(),
+			Tracer:     e.Tracer(),
+		})
+		if err != nil {
+			e.Close()
+			return nil, fmt.Errorf("dualindex: %w", err)
+		}
+		e.maint = ctl
+		ctl.Start()
+	}
 	return e, nil
 }
 

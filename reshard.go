@@ -57,6 +57,8 @@ type ReshardStats struct {
 func (e *Engine) Reshard(n int) (ReshardStats, error) {
 	e.reshardMu.Lock()
 	defer e.reshardMu.Unlock()
+	e.resharding.Store(true) // readiness: not ready while the shard set migrates
+	defer e.resharding.Store(false)
 
 	start := time.Now()
 	// No mutator is running (reshardMu) and no other reshard can swap the

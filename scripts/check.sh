@@ -21,9 +21,14 @@ go vet ./...
 # in the wildcard can never silently skip them.
 echo '== go vet (leaf packages)'
 go vet ./internal/metrics/ ./internal/trace/ ./internal/obshttp/ \
-	./internal/route/ ./internal/manifest/
+	./internal/route/ ./internal/manifest/ ./internal/maintain/
 echo '== go test -race ./...'
 go test -race ./...
+# The maintenance controller is all concurrency — a background loop
+# try-locking against flushes and reshards — so its tests run under the race
+# detector by name too, immune to wildcard drift.
+echo '== go test -race (maintenance controller)'
+go test -race -count=1 ./internal/maintain/
 # The codec fuzz targets' seed corpora run as unit tests above; give each
 # target a short live fuzzing burst too, so `make check` explores beyond the
 # seeds (kept brief — CI does the long runs).

@@ -39,7 +39,11 @@ func (e *Engine) Query(q string, k int) ([]Match, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.searchRanked(qo, q, pl)
+	// The slow-query log records the canonical rendering of the parsed
+	// query, not the raw input: two spellings of the same query ("a AND b",
+	// "(a and b)") log identically, so slow-log entries group by what was
+	// executed rather than what was typed.
+	return e.searchRanked(qo, expr.String(), pl)
 }
 
 // SearchBoolean evaluates a boolean query such as "(cat and dog) or mouse"

@@ -14,6 +14,7 @@ import (
 	"dualindex/internal/docstore"
 	"dualindex/internal/lexer"
 	"dualindex/internal/longlist"
+	"dualindex/internal/maintain"
 	"dualindex/internal/postings"
 	"dualindex/internal/query"
 	"dualindex/internal/vocab"
@@ -63,6 +64,14 @@ type shard struct {
 	// lastDoc is the largest document identifier this shard has seen, used
 	// by Open to resume the engine-wide identifier sequence.
 	lastDoc postings.DocID
+
+	// docsIndexed counts the documents applied to this shard's on-disk
+	// index: flushes add, sweeps subtract what they reclaim. It is the
+	// denominator of the dead-posting fraction the maintenance controller
+	// watches. Reopening without a document store loses the count (the
+	// index stores postings, not documents), which deadFraction treats as
+	// "unknown, err toward sweeping".
+	docsIndexed int
 
 	docs   docstore.Store // nil unless Options.KeepDocuments
 	docErr error          // first deferred document-store failure
@@ -178,6 +187,7 @@ func (s *shard) recoverPendingDocs() error {
 	indexed := s.lastDoc
 	return w.ForEach(func(id postings.DocID, text string) error {
 		if id <= indexed {
+			s.docsIndexed++ // already in the on-disk index: reseed the count
 			return nil
 		}
 		for _, word := range lexer.Tokenize(text, s.opts.Lexer) {
@@ -313,6 +323,7 @@ func (s *shard) flushBatch() (BatchStats, error) {
 			Release:     st.ReleaseDur,
 		},
 	}
+	s.docsIndexed += batchDocs
 	var vocabErr error
 	if s.dir != "" {
 		vocabErr = s.saveVocab()
@@ -439,23 +450,45 @@ func (s *shard) sweep() error {
 	defer s.flushMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.sweepLocked()
+}
+
+// trySweep is sweep for the maintenance controller: instead of waiting for
+// a running flush it answers maintain.ErrBusy, so background maintenance
+// slots into the gaps between flushes rather than queueing behind them.
+func (s *shard) trySweep() error {
+	if !s.flushMu.TryLock() {
+		return maintain.ErrBusy
+	}
+	defer s.flushMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sweepLocked()
+}
+
+// sweepLocked is the sweep body; the caller holds flushMu and mu.
+func (s *shard) sweepLocked() error {
+	swept := s.index.DeletedCount()
 	deleted := make(map[postings.DocID]bool)
-	if c, ok := s.docs.(docstore.Compactor); ok {
+	c, compacting := s.docs.(docstore.Compactor)
+	if compacting {
 		// Snapshot the filter before the index sweep clears it.
 		for d := postings.DocID(1); d <= s.lastDoc; d++ {
 			if s.index.IsDeleted(d) {
 				deleted[d] = true
 			}
 		}
-		if err := s.index.Sweep(); err != nil {
-			return err
-		}
-		if len(deleted) == 0 {
-			return nil
-		}
-		return c.Compact(func(d postings.DocID) bool { return !deleted[d] })
 	}
-	return s.index.Sweep()
+	if err := s.index.Sweep(); err != nil {
+		return err
+	}
+	if s.docsIndexed -= swept; s.docsIndexed < 0 {
+		s.docsIndexed = 0
+	}
+	if !compacting || len(deleted) == 0 {
+		return nil
+	}
+	return c.Compact(func(d postings.DocID) bool { return !deleted[d] })
 }
 
 // readCost reports how many disk reads a query for word would need on this
@@ -496,6 +529,62 @@ func (s *shard) rebalanceBuckets(buckets, bucketSize int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.index.RebalanceBuckets(buckets, bucketSize)
+}
+
+// tryRebalance is rebalanceBuckets for the maintenance controller,
+// answering maintain.ErrBusy instead of waiting behind a running flush.
+func (s *shard) tryRebalance(buckets, bucketSize int) error {
+	if !s.flushMu.TryLock() {
+		return maintain.ErrBusy
+	}
+	defer s.flushMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.index.RebalanceBuckets(buckets, bucketSize)
+}
+
+// maintainSignals gathers the observability inputs one maintenance
+// decision about this shard is made from, under one read lock. During a
+// flush the structural numbers come from the flush's snapshot, like every
+// other mid-flush read.
+func (s *shard) maintainSignals(i int) maintain.ShardSignals {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sig := maintain.ShardSignals{Shard: i, PendingDocs: s.pendingDocs}
+	b := s.index.Buckets()
+	deleted := s.index.DeletedCount()
+	if s.snap != nil {
+		b = s.snap.Buckets()
+		deleted = s.snap.DeletedCount()
+	}
+	sig.Buckets = b.NumBuckets()
+	sig.BucketSize = b.BucketSize()
+	if capacity := float64(sig.Buckets) * float64(sig.BucketSize); capacity > 0 {
+		sig.LoadFactor = float64(b.TotalLoad()) / capacity
+	}
+	sig.DeletedDocs = deleted
+	sig.DocsIndexed = s.docsIndexed
+	sig.DeadFraction = deadFraction(s.docsIndexed, deleted)
+	return sig
+}
+
+// deletedCount reports the shard's logically deleted (not yet swept)
+// document count, snapshot-aware like stats.
+func (s *shard) deletedCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.snap != nil {
+		return s.snap.DeletedCount()
+	}
+	return s.index.DeletedCount()
+}
+
+// numDocsIndexed reports how many documents this shard's on-disk index
+// holds (flushed minus swept).
+func (s *shard) numDocsIndexed() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.docsIndexed
 }
 
 // checkConsistency verifies the shard index's structural invariants.

@@ -81,6 +81,14 @@ type Stats struct {
 	ReadBlocks  int64
 	WriteBlocks int64
 	Deleted     int
+	// DocsIndexed counts the documents currently applied to the on-disk
+	// index (flushed minus swept); DeadFraction is Deleted over DocsIndexed
+	// — the dead-posting signal the maintenance controller sweeps on. The
+	// count is rebuilt from the document store on reopen; an index reopened
+	// without one reports DocsIndexed 0, and DeadFraction then saturates at
+	// 1.0 whenever deletions exist (unknown errs toward sweeping).
+	DocsIndexed  int64
+	DeadFraction float64
 	// CodecRawBytes and CodecEncodedBytes are the long-list codec's
 	// cumulative input and output volume: how many raw posting bytes were
 	// packed into how many encoded bytes. Both zero under CodecRaw (nothing
@@ -141,6 +149,8 @@ func (s *shard) stats() Stats {
 		st.Deleted = s.index.DeletedCount()
 		st.MaxBucketLoadFactor = s.index.BucketLoadFactor()
 	}
+	st.DocsIndexed = int64(s.docsIndexed)
+	st.DeadFraction = deadFraction(s.docsIndexed, st.Deleted)
 	if s.cache != nil {
 		cs := s.cache.Stats()
 		st.CacheHits = cs.Hits
@@ -182,6 +192,7 @@ func (e *Engine) Stats() Stats {
 		st.CodecRawBytes += ss.CodecRawBytes
 		st.CodecEncodedBytes += ss.CodecEncodedBytes
 		st.Deleted += ss.Deleted
+		st.DocsIndexed += ss.DocsIndexed
 		st.CacheHits += ss.CacheHits
 		st.CacheMisses += ss.CacheMisses
 		st.CacheEvictions += ss.CacheEvictions
@@ -204,7 +215,23 @@ func (e *Engine) Stats() Stats {
 	if st.CodecEncodedBytes > 0 {
 		st.CompressionRatio = float64(st.CodecRawBytes) / float64(st.CodecEncodedBytes)
 	}
+	st.DeadFraction = deadFraction(int(st.DocsIndexed), st.Deleted)
 	return st
+}
+
+// ShardStats reports each shard's statistics individually, in shard order —
+// the per-shard breakdown behind Stats' engine-wide aggregation, served as
+// /stats?shard=i and the "shards" array of /metrics.json. Docs is an
+// engine-wide count (the identifier allocator's), so the per-shard entries
+// leave it zero; DocsIndexed is the per-shard document count.
+func (e *Engine) ShardStats() []Stats {
+	e.stateMu.RLock()
+	defer e.stateMu.RUnlock()
+	out := make([]Stats, len(e.shards))
+	for i, s := range e.shards {
+		out[i] = s.stats()
+	}
+	return out
 }
 
 // BucketLoadFactor reports how full the short-list bucket space is; when it
