@@ -1,9 +1,15 @@
 # Convenience targets; `make check` is the gate a change must pass.
 
-.PHONY: check build test race bench bench-shard bench-observe bench-reshard bench-compress bench-query
+.PHONY: check lint build test race bench bench-shard bench-observe bench-reshard bench-compress bench-query
 
 check:
 	./scripts/check.sh
+
+# The invariant linter: lockorder, snapshotsafe, ioboundary, metricsname
+# over the whole module (see internal/analysis and DESIGN.md's
+# "Concurrency contracts"). Exits non-zero on any finding.
+lint:
+	go run ./cmd/lint ./...
 
 build:
 	go build ./...

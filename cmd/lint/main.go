@@ -1,0 +1,60 @@
+// Command lint is the engine's invariant linter: a multichecker that runs
+// the internal/analysis suite — lockorder, snapshotsafe, ioboundary,
+// metricsname — over the module and exits non-zero on any finding.
+//
+//	go run ./cmd/lint ./...
+//
+// Findings print as file:line:col: message [analyzer]. A finding is
+// suppressed only by a justified directive on its line:
+//
+//	//nolint:lockorder // <why the contract does not apply here>
+//
+// An unjustified directive is itself a finding. The contracts the suite
+// enforces are defined once, in internal/analysis/contracts, and documented
+// in DESIGN.md's "Concurrency contracts" section.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dualindex/internal/analysis/framework"
+	"dualindex/internal/analysis/ioboundary"
+	"dualindex/internal/analysis/lockorder"
+	"dualindex/internal/analysis/metricsname"
+	"dualindex/internal/analysis/snapshotsafe"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	analyzers := []*framework.Analyzer{
+		lockorder.Analyzer,
+		snapshotsafe.Analyzer,
+		ioboundary.Analyzer,
+		metricsname.Analyzer,
+	}
+	pkgs, err := framework.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lint:", err)
+		os.Exit(2)
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		diags, err := framework.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lint:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Printf("%s: %s [%s]\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "lint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,17 @@
+// Package nolintfix exercises the driver's suppression rules; the dummy
+// test analyzer reports one finding per function whose name starts with
+// "target".
+package nolintfix
+
+func target1() {} //nolint:dummy // fixture: a justified trailing suppression
+
+func target2() {} //nolint:dummy
+
+func target3() {}
+
+//nolint:dummy // fixture: a standalone directive covers the next line
+func target4() {}
+
+func target5() {} //nolint:all // fixture: the all keyword silences every analyzer
+
+func target6() {} //nolint:other // fixture: naming a different analyzer does not suppress

@@ -1,0 +1,13 @@
+package ioboundary_test
+
+import (
+	"testing"
+
+	"dualindex/internal/analysis/framework/analysistest"
+	"dualindex/internal/analysis/ioboundary"
+)
+
+func TestIOBoundary(t *testing.T) {
+	analysistest.Run(t, "testdata", ioboundary.Analyzer,
+		"internal/feature", "internal/disk", "internal/postings", "cmd/tool")
+}

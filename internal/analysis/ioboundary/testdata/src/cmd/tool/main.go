@@ -1,0 +1,17 @@
+// Command tool shows the main-package exemption: CLI tools read corpora
+// and write reports directly, and may sit on the block store. Clean.
+package main
+
+import (
+	"os"
+
+	"internal/disk"
+)
+
+func main() {
+	f, err := os.Create("out.txt")
+	if err == nil {
+		f.Close()
+	}
+	_ = disk.Array{}
+}

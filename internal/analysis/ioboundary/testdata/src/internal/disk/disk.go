@@ -1,0 +1,20 @@
+// Package disk is the fixture's storage layer: inside the I/O boundary, it
+// may open files and cross the syscall line. Clean throughout.
+package disk
+
+import (
+	"os"
+	"syscall"
+)
+
+type Array struct{}
+
+func Open(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_ = syscall.Getpagesize()
+	return nil
+}

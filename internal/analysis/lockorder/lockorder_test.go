@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"dualindex/internal/analysis/framework/analysistest"
+	"dualindex/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "dualindex")
+}

@@ -1,0 +1,113 @@
+// Package dualindex mirrors the engine's lock-bearing types for the
+// lockorder golden tests: same package name, type names and field names as
+// the real module, which is what the analyzer matches on (see
+// internal/analysis/contracts).
+package dualindex
+
+import "sync"
+
+type Engine struct {
+	reshardMu sync.RWMutex
+	stateMu   sync.RWMutex
+	mu        sync.Mutex
+	shards    []*shard
+}
+
+type shard struct {
+	flushMu sync.Mutex
+	mu      sync.RWMutex
+}
+
+// inOrder walks the documented hierarchy outermost-in: clean.
+func (e *Engine) inOrder() {
+	e.reshardMu.RLock()
+	defer e.reshardMu.RUnlock()
+	e.stateMu.RLock()
+	defer e.stateMu.RUnlock()
+	s := e.shards[0]
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+
+// inverted acquires the engine state lock before the reshard lock.
+func (e *Engine) inverted() {
+	e.stateMu.RLock()
+	defer e.stateMu.RUnlock()
+	e.reshardMu.RLock() // want "violates the lock hierarchy"
+	e.reshardMu.RUnlock()
+}
+
+// shardThenEngine inverts across layers: the per-shard lock is inner.
+func (e *Engine) shardThenEngine(s *shard) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e.mu.Lock() // want "violates the lock hierarchy"
+	e.mu.Unlock()
+}
+
+// releaseThenTake is clean: the higher-ranked lock is explicitly released
+// before the lower-ranked one is taken, so they are never held together.
+func (e *Engine) releaseThenTake() {
+	e.stateMu.RLock()
+	e.stateMu.RUnlock()
+	e.reshardMu.RLock()
+	e.reshardMu.RUnlock()
+}
+
+// trySweep mirrors the maintenance controller's deferral shape: try-acquire
+// the long-held flush lock, then block on the short-held shard lock. Clean:
+// mu is not a deferral lock, blocking on it from a try context is fine.
+func (s *shard) trySweep() bool {
+	if !s.flushMu.TryLock() {
+		return false
+	}
+	defer s.flushMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return true
+}
+
+// blockOnDeferral blocks on the flush lock while holding a try-acquired
+// reshard lock: the deferral contract says TryLock it (and answer busy).
+func (e *Engine) blockOnDeferral(s *shard) {
+	if !e.reshardMu.TryRLock() {
+		return
+	}
+	defer e.reshardMu.RUnlock()
+	s.flushMu.Lock() // want "deferral contexts must TryLock"
+	s.flushMu.Unlock()
+}
+
+// tryThenTry is the deferral discipline done right: clean.
+func (e *Engine) tryThenTry(s *shard) {
+	if !e.reshardMu.TryRLock() {
+		return
+	}
+	defer e.reshardMu.RUnlock()
+	if !s.flushMu.TryLock() {
+		return
+	}
+	s.flushMu.Unlock()
+}
+
+// goroutineScope shows a function literal analyzed as its own scope: the
+// closure's reshard acquisition does not see the outer stateMu hold (it
+// runs under its own control flow), so neither body is flagged.
+func (e *Engine) goroutineScope() {
+	e.stateMu.RLock()
+	defer e.stateMu.RUnlock()
+	go func() {
+		e.reshardMu.RLock()
+		e.reshardMu.RUnlock()
+	}()
+}
+
+// suppressed proves a justified directive silences the finding: no want.
+func (e *Engine) suppressed() {
+	e.stateMu.RLock()
+	defer e.stateMu.RUnlock()
+	e.reshardMu.RLock() //nolint:lockorder // fixture: exercising justified suppression
+	e.reshardMu.RUnlock()
+}

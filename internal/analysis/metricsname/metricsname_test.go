@@ -1,0 +1,12 @@
+package metricsname_test
+
+import (
+	"testing"
+
+	"dualindex/internal/analysis/framework/analysistest"
+	"dualindex/internal/analysis/metricsname"
+)
+
+func TestMetricsName(t *testing.T) {
+	analysistest.Run(t, "testdata", metricsname.Analyzer, "mx")
+}

@@ -1,0 +1,176 @@
+// Package snapshotsafe enforces the engine's snapshot-read contract
+// (contracts.SnapshotContract). While a shard's flush applies its batch,
+// the live core.Index mutates with no shard lock held; queries stay
+// correct only because every read path consults the published pre-flush
+// snapshot instead. Two rules make that mechanical:
+//
+//  1. Encapsulation: the shard's snapshot-critical fields (the live index,
+//     the snapshot pair, the pending batch) may be touched only by the
+//     shard's own methods (or its constructors). Engine fan-out code,
+//     observability closures and reshard streaming go through shard
+//     accessor methods — the accessors are where the snapshot discipline
+//     lives, so a by-passing field access is a latent mid-flush race.
+//
+//  2. Snapshot discipline: a shard method on the read path — it acquires
+//     mu.RLock itself, or is listed as "called under RLock" — that reads
+//     the live index must either consult the snapshot fields in the same
+//     body or exclude a concurrent flush outright (blocking flushMu.Lock
+//     or mu.Lock).
+package snapshotsafe
+
+import (
+	"go/ast"
+	"go/types"
+	"slices"
+
+	"dualindex/internal/analysis/contracts"
+	"dualindex/internal/analysis/framework"
+)
+
+// Analyzer checks the repo's snapshot contract.
+var Analyzer = NewAnalyzer(contracts.SnapshotContract)
+
+// NewAnalyzer builds a snapshotsafe analyzer for the given contract.
+func NewAnalyzer(cfg contracts.Snapshot) *framework.Analyzer {
+	return &framework.Analyzer{
+		Name: "snapshotsafe",
+		Doc: "query paths must read shard state through snapshot-aware accessors: " +
+			"no shard field bypass from other layers, and no live-index read under RLock without consulting the snapshot",
+		Run: func(pass *framework.Pass) error {
+			run(pass, cfg)
+			return nil
+		},
+	}
+}
+
+func run(pass *framework.Pass, cfg contracts.Snapshot) {
+	if pass.Pkg.Name() != cfg.Pkg {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if isShardMethod(pass.Info, fn, cfg) {
+				checkShardMethod(pass, fn, cfg)
+			} else if !slices.Contains(cfg.Constructors, fn.Name.Name) {
+				checkEncapsulation(pass, fn, cfg)
+			}
+		}
+	}
+}
+
+// isShardMethod reports whether fn's receiver is the contract's shard type.
+func isShardMethod(info *types.Info, fn *ast.FuncDecl, cfg contracts.Snapshot) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return false
+	}
+	t := info.TypeOf(fn.Recv.List[0].Type)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == cfg.Type
+}
+
+// shardFieldAccess matches a selector reading field (one of the contract
+// fields) off an expression of the shard type, returning the field name.
+func shardFieldAccess(info *types.Info, sel *ast.SelectorExpr, cfg contracts.Snapshot) (string, bool) {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return "", false
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Name() != cfg.Type || named.Obj().Pkg() == nil || named.Obj().Pkg().Name() != cfg.Pkg {
+		return "", false
+	}
+	return s.Obj().Name(), true
+}
+
+// checkEncapsulation flags any touch of the shard's snapshot-critical
+// fields from outside the shard's own methods, closures included: the
+// access runs with whatever locks the outer layer holds, which is exactly
+// how a mid-flush read of the mutating live index slips in.
+func checkEncapsulation(pass *framework.Pass, fn *ast.FuncDecl, cfg contracts.Snapshot) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		field, ok := shardFieldAccess(pass.Info, sel, cfg)
+		if !ok || !slices.Contains(cfg.EncapFields, field) {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"%s.%s accessed outside %s's methods: go through a snapshot-aware %s accessor (the %q field mutates mid-flush)",
+			cfg.Type, field, cfg.Type, cfg.Type, cfg.LiveField)
+		return true
+	})
+}
+
+// methodCallOn reports calls of the form recv.<method>() where recv is the
+// shard's field named field (e.g. s.mu.RLock → ("mu", "RLock")).
+func methodCallOn(info *types.Info, call *ast.CallExpr, cfg contracts.Snapshot) (field, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	inner, isSel := sel.X.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	f, isField := shardFieldAccess(info, inner, cfg)
+	if !isField {
+		return "", "", false
+	}
+	return f, sel.Sel.Name, true
+}
+
+// checkShardMethod applies rule 2 to one shard method.
+func checkShardMethod(pass *framework.Pass, fn *ast.FuncDecl, cfg contracts.Snapshot) {
+	var (
+		readPath     = slices.Contains(cfg.UnderRLock, fn.Name.Name)
+		excludeFlush bool // blocking flushMu.Lock or mu.Lock: no flush can run
+		refsSnap     bool
+		liveReads    []ast.Node
+	)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if field, method, ok := methodCallOn(pass.Info, n, cfg); ok {
+				switch {
+				case field == cfg.GuardField && method == "RLock":
+					readPath = true
+				case field == cfg.GuardField && method == "Lock",
+					field == cfg.FlushField && method == "Lock":
+					excludeFlush = true
+				}
+			}
+		case *ast.SelectorExpr:
+			if field, ok := shardFieldAccess(pass.Info, n, cfg); ok {
+				if slices.Contains(cfg.SnapFields, field) {
+					refsSnap = true
+				}
+				if field == cfg.LiveField {
+					liveReads = append(liveReads, n)
+				}
+			}
+		}
+		return true
+	})
+	if !readPath || excludeFlush || refsSnap {
+		return
+	}
+	for _, r := range liveReads {
+		pass.Reportf(r.Pos(),
+			"read of %s.%s on a read path (under %s.RLock) without consulting the flush snapshot: "+
+				"use the %v fields when set, or hold %s to exclude a flush",
+			cfg.Type, cfg.LiveField, cfg.GuardField, cfg.SnapFields, cfg.FlushField)
+	}
+}

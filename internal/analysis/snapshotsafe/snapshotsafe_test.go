@@ -1,0 +1,12 @@
+package snapshotsafe_test
+
+import (
+	"testing"
+
+	"dualindex/internal/analysis/framework/analysistest"
+	"dualindex/internal/analysis/snapshotsafe"
+)
+
+func TestSnapshotSafe(t *testing.T) {
+	analysistest.Run(t, "testdata", snapshotsafe.Analyzer, "dualindex")
+}

@@ -1,0 +1,89 @@
+// Package dualindex mirrors the engine's shard for the snapshotsafe golden
+// tests: the field names (index, snap, snapBatch, pending, mu, flushMu)
+// match internal/analysis/contracts' SnapshotContract.
+package dualindex
+
+import "sync"
+
+type Index struct{ deleted map[int]bool }
+
+func (ix *Index) IsDeleted(id int) bool { return ix.deleted[id] }
+func (ix *Index) Get(w int) int         { return w }
+
+type Snapshot struct{}
+
+func (sn *Snapshot) IsDeleted(id int) bool { return false }
+func (sn *Snapshot) Get(w int) int         { return w }
+
+type shard struct {
+	mu        sync.RWMutex
+	flushMu   sync.Mutex
+	index     *Index
+	snap      *Snapshot
+	snapBatch map[int][]int
+	pending   map[int][]int
+}
+
+// openShard is a constructor: it builds the shard before it is shared and
+// may set the encapsulated fields directly. Clean.
+func openShard() *shard {
+	s := &shard{}
+	s.index = &Index{}
+	s.pending = map[int][]int{}
+	return s
+}
+
+type Engine struct{ shards []*shard }
+
+// fanout reads the live index from outside the shard's methods: whatever
+// lock the engine holds, the field itself mutates mid-flush.
+func (e *Engine) fanout() bool {
+	s := e.shards[0]
+	return s.index.IsDeleted(1) // want "accessed outside"
+}
+
+// observeClosure: closures registered with the metrics registry run with no
+// shard lock at all; a direct field read there is the canonical race.
+func (e *Engine) observeClosure() func() int {
+	s := e.shards[0]
+	return func() int { return len(s.pending) } // want "accessed outside"
+}
+
+// list is snapshot-aware (the real list()'s shape): clean.
+func (s *shard) list(w int) int {
+	if s.snap != nil {
+		return s.snap.Get(w)
+	}
+	return s.index.Get(w)
+}
+
+// document reads the live index on a read path without consulting the
+// snapshot.
+func (s *shard) document(id int) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.index.IsDeleted(id) // want "without consulting the flush snapshot"
+}
+
+// verifyDocs is contractually "called under RLock" (contracts.UnderRLock):
+// a live-index read is flagged even with no lock call in the body.
+func (s *shard) verifyDocs(id int) bool {
+	return s.index.IsDeleted(id) // want "without consulting the flush snapshot"
+}
+
+// sweepLocked excludes a concurrent flush by holding the flush lock: the
+// live read cannot race a mid-apply batch. Clean.
+func (s *shard) sweepLocked() bool {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	return s.index.IsDeleted(1)
+}
+
+// flushBatch holds the write lock and publishes the snapshot: clean (a
+// writer, not a read path).
+func (s *shard) flushBatch() {
+	s.mu.Lock()
+	s.snap = &Snapshot{}
+	s.snapBatch = nil
+	s.mu.Unlock()
+}

@@ -176,7 +176,7 @@ func (o *observer) shardObs(i int) *shardObs {
 	}
 	for p, name := range flushPhaseNames {
 		so.flushPhase[p] = o.reg.Histogram(
-			fmt.Sprintf(`flush_phase_seconds{phase=%q,shard=%q}`, name, shard), nil)
+			`flush_phase_seconds{phase="`+name+`",shard="`+shard+`"}`, nil)
 	}
 	return so
 }
@@ -487,7 +487,7 @@ func (e *Engine) registerShardFuncs() {
 					if s == nil {
 						return 0
 					}
-					return pick(s.index.LongLists().CompressionBytes())
+					return pick(s.compressionBytes())
 				}
 			}
 			reg.RegisterFunc(`codec_raw_bytes_total{shard="`+shard+`"}`,
@@ -511,7 +511,7 @@ func (e *Engine) registerShardFuncs() {
 					if s == nil {
 						return 0
 					}
-					return float64(pick(s.index.Array().DiskOpCounts(d)))
+					return float64(pick(s.diskOpCounts(d)))
 				}
 			}
 			reg.RegisterFunc(`disk_read_ops_total`+labels,

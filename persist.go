@@ -261,6 +261,13 @@ func verifyShardDirs(dir string, shards int) error {
 	return nil
 }
 
+// shardResumes probes whether dir already holds a shard's disk files, i.e.
+// whether opening it resumes an existing shard rather than creating one.
+func shardResumes(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, "disk0.dat"))
+	return err == nil
+}
+
 // probeLegacyLayout detects a pre-manifest index: flat files directly under
 // dir mark a single-shard index, shard-<i> subdirectories a sharded one.
 // found is false for a fresh (empty or absent) directory.

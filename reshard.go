@@ -152,21 +152,15 @@ func (e *Engine) Reshard(n int) (ReshardStats, error) {
 	}
 	for id := postings.DocID(1); id <= lastDoc; id++ {
 		s := old[e.router.Shard(id)]
-		s.mu.RLock()
-		if s.index.IsDeleted(id) {
-			s.mu.RUnlock()
-			st.Skipped++
-			continue
-		}
-		text, ok, err := s.docs.Get(id)
-		s.mu.RUnlock()
+		// document() is snapshot-aware: a flush applying on the source shard
+		// cannot tear the deletion check. ok is false both for deleted
+		// documents and for ones already compacted out of the store.
+		text, ok, err := s.document(id)
 		if err != nil {
 			discard()
 			return st, fmt.Errorf("dualindex: reading document %d: %w", id, err)
 		}
 		if !ok {
-			// Deleted and already compacted out of the store: nothing left
-			// to migrate.
 			st.Skipped++
 			continue
 		}

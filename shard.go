@@ -3,7 +3,6 @@ package dualindex
 import (
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"slices"
 	"sync"
@@ -94,9 +93,7 @@ func openShard(opts Options, dir string) (*shard, error) {
 			store = disk.NewMemStore(opts.NumDisks, opts.BlockSize)
 		}
 	} else {
-		if _, err := os.Stat(filepath.Join(dir, "disk0.dat")); err == nil {
-			resume = true
-		}
+		resume = shardResumes(dir)
 		fs, err := openFileStore(dir, opts, resume)
 		if err != nil {
 			return nil, err
@@ -603,10 +600,31 @@ func (s *shard) document(id postings.DocID) (text string, ok bool, err error) {
 	if s.docs == nil {
 		return "", false, fmt.Errorf("dualindex: Options.KeepDocuments not enabled")
 	}
-	if s.index.IsDeleted(id) {
+	// Mid-flush the live index's deletion filter is mutating; consult the
+	// published snapshot's instead, as list() does.
+	isDeleted := s.index.IsDeleted
+	if s.snap != nil {
+		isDeleted = s.snap.IsDeleted
+	}
+	if isDeleted(id) {
 		return "", false, nil
 	}
 	return s.docs.Get(id)
+}
+
+// compressionBytes samples the codec's cumulative raw/encoded byte
+// counters for the observability closures. The counters are monotonic
+// atomics inside the long-list store and s.index is set once at
+// construction, so the sample takes no shard lock — metric scrapes run
+// concurrently with flushes and must not queue behind them.
+func (s *shard) compressionBytes() (raw, encoded int64) {
+	return s.index.LongLists().CompressionBytes()
+}
+
+// diskOpCounts samples disk d's operation counters; same locking story as
+// compressionBytes (the counters are guarded inside the disk array).
+func (s *shard) diskOpCounts(d int) disk.DiskOps {
+	return s.index.Array().DiskOpCounts(d)
 }
 
 // verifyDocs is the document-text half of candidate verification (the
