@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the gate a change must pass.
 
-.PHONY: check lint build test race bench bench-shard bench-observe bench-reshard bench-compress bench-query
+.PHONY: check lint build test race bench bench-shard bench-observe bench-reshard bench-compress bench-query bench-live
 
 check:
 	./scripts/check.sh
@@ -45,6 +45,14 @@ bench-reshard:
 # BENCH_compress.json. Gate: compressed cells move fewer blocks than raw.
 bench-compress:
 	go test -run '^TestCompressBenchReport$$' -count=1 -v .
+
+# Live-tier latency: add-to-visible time (AddDocument → query returns the
+# document) with the live tier vs a flush per document, and the query
+# workload's cost with LiveSearch on vs off, written to BENCH_live.json.
+# Gates: visibility in microseconds, clearly cheaper than flushing, no
+# query-time regression.
+bench-live:
+	go test -run '^TestLiveBenchReport$$' -count=1 -v .
 
 # Query-pipeline overhead: boolean and vector latency through the
 # parse→plan→execute pipeline vs the direct legacy evaluators, plus the

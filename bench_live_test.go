@@ -1,0 +1,150 @@
+// Benchmarks for the live tier: the add-to-visible latency — AddDocument
+// followed by a query that must return the new document — with the live
+// tier against the flush-per-document alternative, and the query-time
+// overhead of serving a half-pending corpus with LiveSearch on versus off.
+// TestLiveBenchReport writes BENCH_live.json and pins the tier's point:
+// immediate visibility costs microseconds, not a flush, and turning the
+// tier on does not slow queries down.
+package dualindex
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+func benchLiveOpts(live bool) Options {
+	return Options{
+		LiveSearch: live,
+		Buckets:    64,
+		BucketSize: 1024,
+	}
+}
+
+var benchLiveCorpus = synthTexts(131, 400, 120, 40)
+
+var benchLiveQueries = []string{
+	"waa and wab",
+	"wac or (wad and not wae)",
+	"wa* and not waa",
+	"waa wab wac wad wae waf",
+}
+
+// benchAddToVisible measures one AddDocument followed by a query that
+// returns the new document. With flushEach, visibility is bought the old
+// way — a full batch flush between the add and the query; otherwise the
+// live tier serves it. Pending state is drained outside the timer so the
+// per-op figure stays an add+query, not an amortized flush.
+func benchAddToVisible(b *testing.B, live, flushEach bool) {
+	eng, err := Open(benchLiveOpts(live))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	for _, text := range benchLiveCorpus {
+		eng.AddDocument(text)
+	}
+	if _, err := eng.FlushBatch(); err != nil {
+		b.Fatal(err)
+	}
+	doc := benchLiveCorpus[0] + " zqqmarker"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !flushEach && i%256 == 0 {
+			b.StopTimer()
+			if _, err := eng.FlushBatch(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		eng.AddDocument(doc)
+		if flushEach {
+			if _, err := eng.FlushBatch(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		docs, err := eng.SearchBoolean("zqqmarker")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(docs) == 0 {
+			b.Fatal("added document not visible")
+		}
+	}
+}
+
+// benchLiveQuery measures the mixed query workload against a corpus whose
+// second half is pending — the state the live tier exists for.
+func benchLiveQuery(b *testing.B, live bool) {
+	eng, err := Open(benchLiveOpts(live))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	for i, text := range benchLiveCorpus {
+		eng.AddDocument(text)
+		if i == len(benchLiveCorpus)/2 {
+			if _, err := eng.FlushBatch(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range benchLiveQueries[:3] {
+			if _, err := eng.SearchBoolean(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := eng.SearchVector(benchLiveQueries[3], 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// livePoint is BENCH_live.json's payload.
+type livePoint struct {
+	AddToVisibleLiveNs  int64 `json:"add_to_visible_live_ns"`
+	AddToVisibleFlushNs int64 `json:"add_to_visible_flush_ns"`
+	QueryLiveOnNs       int64 `json:"query_live_on_ns"`
+	QueryLiveOffNs      int64 `json:"query_live_off_ns"`
+}
+
+// TestLiveBenchReport measures both halves and writes BENCH_live.json.
+// Skipped under -short.
+func TestLiveBenchReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark harness skipped in -short mode")
+	}
+	p := livePoint{
+		AddToVisibleLiveNs:  testing.Benchmark(func(b *testing.B) { benchAddToVisible(b, true, false) }).NsPerOp(),
+		AddToVisibleFlushNs: testing.Benchmark(func(b *testing.B) { benchAddToVisible(b, false, true) }).NsPerOp(),
+		QueryLiveOnNs:       testing.Benchmark(func(b *testing.B) { benchLiveQuery(b, true) }).NsPerOp(),
+		QueryLiveOffNs:      testing.Benchmark(func(b *testing.B) { benchLiveQuery(b, false) }).NsPerOp(),
+	}
+	t.Logf("add-to-visible: live %7.2fµs, flush-per-doc %9.2fµs", float64(p.AddToVisibleLiveNs)/1e3, float64(p.AddToVisibleFlushNs)/1e3)
+	t.Logf("query workload: live on %7.2fµs, off %7.2fµs", float64(p.QueryLiveOnNs)/1e3, float64(p.QueryLiveOffNs)/1e3)
+
+	out, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_live.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The tier's reason to exist: visibility in microseconds, cheaper than a
+	// flush per document by a wide margin — and no query-time regression
+	// worth the name against the legacy pending-bag merge.
+	if p.AddToVisibleLiveNs > 500_000 {
+		t.Errorf("live add-to-visible %dns, want microseconds (< 500µs)", p.AddToVisibleLiveNs)
+	}
+	if p.AddToVisibleLiveNs*5 > p.AddToVisibleFlushNs {
+		t.Errorf("live add-to-visible %dns is not clearly cheaper than flush-per-document %dns",
+			p.AddToVisibleLiveNs, p.AddToVisibleFlushNs)
+	}
+	if p.QueryLiveOnNs > p.QueryLiveOffNs*5/2 {
+		t.Errorf("query workload with live tier on %dns, off %dns — overhead above 2.5x",
+			p.QueryLiveOnNs, p.QueryLiveOffNs)
+	}
+}

@@ -48,18 +48,30 @@ var LockHierarchy = []Mutex{
 	{Pkg: "disk", Type: "asyncDisk", Field: "mu", Rank: 80},
 }
 
-// Snapshot is the snapshot-read contract: while a flush is applying its
-// batch, core.Index mutates with no shard lock held, so every read path —
-// anything running under the shard's read lock — must go through the
-// published snapshot (or exclude the flush outright by holding FlushField).
+// A TierPair pairs one mutable read-tier field with the published fields
+// that make a mid-flush read of it complete and safe. The on-disk tier's
+// pair is the classic snapshot rule (core.Index mutates with no shard lock
+// held while a flush applies its batch, so reads must go through the
+// published snapshot); the in-memory tiers' pairs are completeness rules
+// (the flush detaches the pending batch into its snap twin at publish time,
+// so a query reading only the fresh field would drop the detaching
+// documents mid-flush).
+type TierPair struct {
+	Live  string   // the mutable tier field reads must guard
+	Snaps []string // the published fields that make a read of Live safe
+}
+
+// Snapshot is the snapshot-read contract: every read path — anything
+// running under the shard's read lock — that reads a tier's live field must
+// consult that tier's published snap fields in the same body (or exclude
+// the flush outright by holding FlushField).
 type Snapshot struct {
 	Pkg  string // package of the sharded engine
 	Type string // the shard type
 
-	LiveField  string   // the mutable index field reads must guard
-	SnapFields []string // the published snapshot fields that make a read safe
-	GuardField string   // RWMutex whose RLock marks a read path
-	FlushField string   // mutex whose (blocking) Lock excludes a flush
+	Tiers      []TierPair // the read tiers, each with its snapshot twin(s)
+	GuardField string     // RWMutex whose RLock marks a read path
+	FlushField string     // mutex whose (blocking) Lock excludes a flush
 
 	// EncapFields are the shard fields only the shard's own methods may
 	// touch: every other layer (engine fan-out, observability closures,
@@ -77,16 +89,25 @@ type Snapshot struct {
 	Constructors []string
 }
 
-// SnapshotContract is the engine's snapshot-read rule.
+// SnapshotContract is the engine's snapshot-read rule, one TierPair per
+// read tier: the on-disk index behind its flush snapshot, the live tier
+// behind its detached mid-flush twin, and the legacy pending bag map behind
+// the detached batch.
 var SnapshotContract = Snapshot{
-	Pkg:          "dualindex",
-	Type:         "shard",
-	LiveField:    "index",
-	SnapFields:   []string{"snap", "snapBatch"},
-	GuardField:   "mu",
-	FlushField:   "flushMu",
-	EncapFields:  []string{"index", "snap", "snapBatch", "pending"},
-	UnderRLock:   []string{"list", "prefetchPlan", "verifyDocs"},
+	Pkg:  "dualindex",
+	Type: "shard",
+	Tiers: []TierPair{
+		{Live: "index", Snaps: []string{"snap", "snapBatch"}},
+		{Live: "live", Snaps: []string{"snapLive"}},
+		{Live: "pending", Snaps: []string{"snapBatch"}},
+	},
+	GuardField: "mu",
+	FlushField: "flushMu",
+	EncapFields: []string{
+		"index", "snap", "snapBatch", "pending",
+		"live", "snapLive", "pendingDocs", "pendingPostings",
+	},
+	UnderRLock:   []string{"list", "tiers", "prefetchPlan", "verifyDocs", "liveDocTokens"},
 	Constructors: []string{"openShard"},
 }
 

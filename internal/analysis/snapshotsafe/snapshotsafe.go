@@ -11,11 +11,14 @@
 //     accessor methods — the accessors are where the snapshot discipline
 //     lives, so a by-passing field access is a latent mid-flush race.
 //
-//  2. Snapshot discipline: a shard method on the read path — it acquires
-//     mu.RLock itself, or is listed as "called under RLock" — that reads
-//     the live index must either consult the snapshot fields in the same
-//     body or exclude a concurrent flush outright (blocking flushMu.Lock
-//     or mu.Lock).
+//  2. Snapshot discipline, per read tier (contracts.TierPair): a shard
+//     method on the read path — it acquires mu.RLock itself, or is listed
+//     as "called under RLock" — that reads a tier's live field must either
+//     consult that tier's published snap fields in the same body or exclude
+//     a concurrent flush outright (blocking flushMu.Lock or mu.Lock). The
+//     on-disk tier's rule guards against reading the mutating index; the
+//     in-memory tiers' rules guard completeness — a query that reads only
+//     the fresh pending structures drops the batch a flush detached.
 package snapshotsafe
 
 import (
@@ -108,8 +111,8 @@ func checkEncapsulation(pass *framework.Pass, fn *ast.FuncDecl, cfg contracts.Sn
 			return true
 		}
 		pass.Reportf(sel.Sel.Pos(),
-			"%s.%s accessed outside %s's methods: go through a snapshot-aware %s accessor (the %q field mutates mid-flush)",
-			cfg.Type, field, cfg.Type, cfg.Type, cfg.LiveField)
+			"%s.%s accessed outside %s's methods: go through a snapshot-aware %s accessor (the tier fields mutate or swap mid-flush)",
+			cfg.Type, field, cfg.Type, cfg.Type)
 		return true
 	})
 }
@@ -132,13 +135,15 @@ func methodCallOn(info *types.Info, call *ast.CallExpr, cfg contracts.Snapshot) 
 	return f, sel.Sel.Name, true
 }
 
-// checkShardMethod applies rule 2 to one shard method.
+// checkShardMethod applies rule 2 to one shard method, each read tier
+// judged independently: reading one tier's live field is not excused by
+// consulting another tier's snapshot.
 func checkShardMethod(pass *framework.Pass, fn *ast.FuncDecl, cfg contracts.Snapshot) {
 	var (
 		readPath     = slices.Contains(cfg.UnderRLock, fn.Name.Name)
 		excludeFlush bool // blocking flushMu.Lock or mu.Lock: no flush can run
-		refsSnap     bool
-		liveReads    []ast.Node
+		refsSnap     = make([]bool, len(cfg.Tiers))
+		liveReads    = make([][]ast.Node, len(cfg.Tiers))
 	)
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
@@ -154,23 +159,30 @@ func checkShardMethod(pass *framework.Pass, fn *ast.FuncDecl, cfg contracts.Snap
 			}
 		case *ast.SelectorExpr:
 			if field, ok := shardFieldAccess(pass.Info, n, cfg); ok {
-				if slices.Contains(cfg.SnapFields, field) {
-					refsSnap = true
-				}
-				if field == cfg.LiveField {
-					liveReads = append(liveReads, n)
+				for i, tier := range cfg.Tiers {
+					if slices.Contains(tier.Snaps, field) {
+						refsSnap[i] = true
+					}
+					if field == tier.Live {
+						liveReads[i] = append(liveReads[i], n)
+					}
 				}
 			}
 		}
 		return true
 	})
-	if !readPath || excludeFlush || refsSnap {
+	if !readPath || excludeFlush {
 		return
 	}
-	for _, r := range liveReads {
-		pass.Reportf(r.Pos(),
-			"read of %s.%s on a read path (under %s.RLock) without consulting the flush snapshot: "+
-				"use the %v fields when set, or hold %s to exclude a flush",
-			cfg.Type, cfg.LiveField, cfg.GuardField, cfg.SnapFields, cfg.FlushField)
+	for i, tier := range cfg.Tiers {
+		if refsSnap[i] {
+			continue
+		}
+		for _, r := range liveReads[i] {
+			pass.Reportf(r.Pos(),
+				"read of %s.%s on a read path (under %s.RLock) without consulting the flush snapshot: "+
+					"use the %v fields when set, or hold %s to exclude a flush",
+				cfg.Type, tier.Live, cfg.GuardField, tier.Snaps, cfg.FlushField)
+		}
 	}
 }

@@ -173,8 +173,13 @@ type ShardSignals struct {
 	DeadFraction float64 `json:"dead_fraction"`
 	DeletedDocs  int     `json:"deleted_docs"`
 	DocsIndexed  int     `json:"docs_indexed"`
-	// PendingDocs is the shard's unflushed batch size.
-	PendingDocs int `json:"pending_docs"`
+	// PendingDocs is the shard's unflushed batch size in documents, and
+	// PendingPostings in postings — the live tier's in-memory volume. A
+	// sustained climb means flushes are not keeping up with ingest; the
+	// values ride along in every decision's signal record so the log shows
+	// how much unflushed state each decision was made under.
+	PendingDocs     int   `json:"pending_docs"`
+	PendingPostings int64 `json:"pending_postings"`
 }
 
 // Target is the engine surface the controller drives. Implementations must

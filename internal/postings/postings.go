@@ -140,6 +140,26 @@ func (l *List) Append(m *List) error {
 	return nil
 }
 
+// Push appends one posting in place, keeping the ascending-identifier
+// invariant: doc must be at least MaxDoc(). Pushing the current tail
+// document again accumulates its frequency, so a tokenized document can be
+// pushed one occurrence at a time. Push is how the live tier grows a
+// per-word run incrementally — one posting per arriving document — where
+// Append moves whole already-built lists. It panics on an out-of-order
+// document, like NewList, so a corrupted run is caught at construction.
+func (l *List) Push(doc DocID, freq uint32) {
+	if n := len(l.ps); n > 0 {
+		switch tail := &l.ps[n-1]; {
+		case tail.Doc == doc:
+			tail.Freq += freq
+			return
+		case tail.Doc > doc:
+			panic(fmt.Sprintf("postings: push out of order: have max %d, got %d", tail.Doc, doc))
+		}
+	}
+	l.ps = append(l.ps, Posting{Doc: doc, Freq: freq})
+}
+
 // Intersect returns the postings present in both lists, with frequencies
 // summed, using a linear merge.
 func Intersect(a, b *List) *List {

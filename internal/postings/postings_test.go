@@ -95,6 +95,47 @@ func TestAppendEmpty(t *testing.T) {
 	}
 }
 
+func TestPushGrowsTail(t *testing.T) {
+	l := &List{}
+	l.Push(3, 1)
+	l.Push(5, 2)
+	l.Push(9, 1)
+	want := []Posting{{Doc: 3, Freq: 1}, {Doc: 5, Freq: 2}, {Doc: 9, Freq: 1}}
+	if got := l.Postings(); len(got) != len(want) {
+		t.Fatalf("Postings = %v, want %v", got, want)
+	}
+	for i, p := range l.Postings() {
+		if p != want[i] {
+			t.Errorf("Postings[%d] = %v, want %v", i, p, want[i])
+		}
+	}
+}
+
+func TestPushAccumulatesTailFrequency(t *testing.T) {
+	// A tokenized document pushes one occurrence at a time; repeated pushes
+	// of the tail document must fold into one posting, exactly FromDocs'
+	// aggregation.
+	l := &List{}
+	for _, d := range []DocID{1, 2, 2, 2, 7} {
+		l.Push(d, 1)
+	}
+	want := FromDocs([]DocID{1, 2, 2, 2, 7})
+	if !Equal(l, want) {
+		t.Fatalf("pushed list %v, FromDocs %v", l.Postings(), want.Postings())
+	}
+}
+
+func TestPushRejectsOutOfOrder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order Push did not panic")
+		}
+	}()
+	l := &List{}
+	l.Push(5, 1)
+	l.Push(4, 1)
+}
+
 func TestIntersect(t *testing.T) {
 	tests := []struct {
 		a, b, want []DocID

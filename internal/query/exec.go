@@ -56,7 +56,17 @@ func ExecuteRanked(pl *Plan, env Exec) ([]Match, error) {
 	}
 	total := EffectiveCollectionSize(env.Total)
 	scores := map[postings.DocID]float64{}
-	for term, weight := range sp.Terms {
+	// Deterministic term order: float accumulation is not associative, so
+	// ranging the Terms map directly would let the same query score the same
+	// document differently from run to run (and across flush placements) in
+	// the last ulp. Sorted order pins scores bit-for-bit.
+	terms := make([]string, 0, len(sp.Terms))
+	for term := range sp.Terms {
+		terms = append(terms, term)
+	}
+	slices.Sort(terms)
+	for _, term := range terms {
+		weight := sp.Terms[term]
 		if p, ok := strings.CutSuffix(term, "*"); ok {
 			ps, ok := env.Src.(PrefixSource)
 			if !ok {

@@ -431,6 +431,14 @@ func (e *Engine) registerShardFuncs() {
 				}
 				return float64(s.numPending())
 			})
+		reg.RegisterFunc(`pending_postings{shard="`+shard+`"}`,
+			func() float64 {
+				s := e.shardAt(i)
+				if s == nil {
+					return 0
+				}
+				return float64(s.numPendingPostings())
+			})
 		reg.RegisterFunc(`bucket_load_factor{shard="`+shard+`"}`,
 			func() float64 {
 				s := e.shardAt(i)

@@ -57,8 +57,16 @@ type shard struct {
 
 	// The in-memory inverted index of documents awaiting a flush; it is
 	// searched together with the on-disk index, as the paper prescribes.
-	pending     map[postings.WordID][]postings.DocID
-	pendingDocs int
+	// pending is the write-side bag form the flush consumes; live is the
+	// read-optimized form (sorted runs + positional tokens) queries consult
+	// when Options.LiveSearch is on, and snapLive its detached counterpart
+	// while a flush is applying the batch (paired with snap/snapBatch,
+	// following the same publish/release protocol).
+	pending         map[postings.WordID][]postings.DocID
+	live            *liveTier // nil unless Options.LiveSearch
+	snapLive        *liveTier // non-nil only mid-flush, and only with live
+	pendingDocs     int
+	pendingPostings int64
 
 	// lastDoc is the largest document identifier this shard has seen, used
 	// by Open to resume the engine-wide identifier sequence.
@@ -132,6 +140,9 @@ func openShard(opts Options, dir string) (*shard, error) {
 		vocab:   vocab.New(),
 		pending: make(map[postings.WordID][]postings.DocID),
 	}
+	if opts.LiveSearch {
+		s.live = newLiveTier()
+	}
 	if resume {
 		s.index, err = core.Open(cfg)
 		if errors.Is(err, core.ErrNoCheckpoint) {
@@ -187,14 +198,7 @@ func (s *shard) recoverPendingDocs() error {
 			s.docsIndexed++ // already in the on-disk index: reseed the count
 			return nil
 		}
-		for _, word := range lexer.Tokenize(text, s.opts.Lexer) {
-			w := s.vocab.GetOrAssign(word)
-			s.pending[w] = append(s.pending[w], id)
-		}
-		s.pendingDocs++
-		if id > s.lastDoc {
-			s.lastDoc = id
-		}
+		s.indexPendingLocked(id, text)
 		return nil
 	})
 }
@@ -217,18 +221,33 @@ func (s *shard) maxIndexedDoc() postings.DocID {
 }
 
 // addDocumentLocked tokenizes text and appends it to the shard's pending
-// batch. The engine has already assigned the identifier, routed the
-// document here, and acquired s.mu (see Engine.AddDocument for why the two
-// locks overlap).
+// batch (and live tier, when enabled). The engine has already assigned the
+// identifier, routed the document here, and acquired s.mu (see
+// Engine.AddDocument for why the two locks overlap).
 func (s *shard) addDocumentLocked(doc postings.DocID, text string) {
-	for _, word := range lexer.Tokenize(text, s.opts.Lexer) {
-		w := s.vocab.GetOrAssign(word)
-		s.pending[w] = append(s.pending[w], doc)
-	}
+	s.indexPendingLocked(doc, text)
 	if s.docs != nil && s.docErr == nil {
 		s.docErr = s.docs.Put(doc, text)
 	}
+}
+
+// indexPendingLocked indexes one document into the shard's in-memory
+// structures: the pending bag map the next flush consumes, and — under
+// Options.LiveSearch — the live tier's sorted runs and positional tokens,
+// which is what makes the document searchable the moment this returns.
+// Called with s.mu held (or on a shard not yet shared, during recovery).
+func (s *shard) indexPendingLocked(doc postings.DocID, text string) {
+	words := lexer.Tokenize(text, s.opts.Lexer)
+	ids := make([]postings.WordID, len(words))
+	for i, word := range words {
+		ids[i] = s.vocab.GetOrAssign(word)
+		s.pending[ids[i]] = append(s.pending[ids[i]], doc)
+	}
+	if s.live != nil {
+		s.live.add(doc, ids, lexer.TokenizePositions(text, s.opts.Lexer))
+	}
 	s.pendingDocs++
+	s.pendingPostings += int64(len(words))
 	if doc > s.lastDoc {
 		s.lastDoc = doc
 	}
@@ -238,6 +257,14 @@ func (s *shard) numPending() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.pendingDocs
+}
+
+// numPendingPostings reports how many postings await a flush — the live
+// tier's volume, feeding the pending_postings gauge and Stats.
+func (s *shard) numPendingPostings() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.pendingPostings
 }
 
 // flushBatch applies the shard's pending batch to its on-disk index — the
@@ -273,11 +300,18 @@ func (s *shard) flushBatch() (BatchStats, error) {
 			return BatchStats{}, err
 		}
 	}
-	batch, batchDocs := s.pending, s.pendingDocs
+	batch, batchDocs, batchPostings := s.pending, s.pendingDocs, s.pendingPostings
 	s.pending = make(map[postings.WordID][]postings.DocID)
-	s.pendingDocs = 0
+	s.pendingDocs, s.pendingPostings = 0, 0
 	s.snap = s.index.Snapshot()
 	s.snapBatch = batch
+	if s.live != nil {
+		// Publish the live tier as the flush's detached tier and start a
+		// fresh one: documents added while the batch applies land in the new
+		// tier, queries read snap + snapLive + live, and answers stay equal
+		// to the pre-flush (hence post-flush) ones throughout.
+		s.snapLive, s.live = s.live, newLiveTier()
+	}
 	s.mu.Unlock()
 
 	words := make([]postings.WordID, 0, len(batch))
@@ -297,14 +331,22 @@ func (s *shard) flushBatch() (BatchStats, error) {
 	if err != nil {
 		// Put the batch back so no documents are lost. Batch documents
 		// precede anything added while the flush ran, so prepending keeps
-		// every per-word list sorted.
+		// every per-word list sorted; the detached live tier likewise
+		// re-absorbs the fresh one.
 		for w, docs := range batch {
 			s.pending[w] = append(docs, s.pending[w]...)
 		}
 		s.pendingDocs += batchDocs
+		s.pendingPostings += batchPostings
+		if s.snapLive != nil {
+			s.snapLive.absorb(s.live)
+			s.live, s.snapLive = s.snapLive, nil
+		}
 		s.mu.Unlock()
 		return BatchStats{}, err
 	}
+	// The batch is on disk: retire the detached live tier with the snapshot.
+	s.snapLive = nil
 	out := BatchStats{
 		Docs:      batchDocs,
 		Words:     st.Words,
@@ -330,38 +372,35 @@ func (s *shard) flushBatch() (BatchStats, error) {
 	return out, vocabErr
 }
 
-// list returns the full current list for a word string: the on-disk (or
-// bucket) list merged with the pending batch, filtered of deleted docs.
-// While a flush is applying its batch, the on-disk part comes from the
-// flush's snapshot and the detached batch, so mid-flush answers equal the
-// pre-flush (and hence the post-flush) ones. Called under s.mu.RLock, from
-// any number of goroutines.
-func (s *shard) list(word string) (*postings.List, error) {
-	w, known := s.vocab.Lookup(word)
-	if !known {
-		return &postings.List{}, nil
-	}
-	var indexed *postings.List
-	var err error
-	isDeleted := s.index.IsDeleted
+// tiers assembles the shard's current read tiers into the one merged Source
+// every query path executes against: the on-disk tier, then — mid-flush —
+// the detached batch the flush is applying, then the in-memory tier of
+// documents awaiting a flush. While a flush is applying its batch, the
+// on-disk tier comes from the flush's published snapshot and the detached
+// batch rides beside it, so mid-flush answers equal the pre-flush (and
+// hence the post-flush) ones; all tiers share one deletion view for the
+// same reason. Called under s.mu.RLock, and the returned source is read
+// under that same RLock, so the tier set cannot change beneath a query.
+func (s *shard) tiers() *query.TieredSource {
 	if s.snap != nil {
-		isDeleted = s.snap.IsDeleted
-		indexed, err = s.snap.GetList(w)
-		if err == nil {
-			if docs := s.snapBatch[w]; len(docs) > 0 {
-				indexed = postings.Union(indexed, postings.FromDocs(docs).Filter(isDeleted))
-			}
-		}
-	} else {
-		indexed, err = s.index.GetList(w)
+		isDeleted := s.snap.IsDeleted
+		return query.NewTieredSource(
+			diskTier{s: s, get: s.snap.GetList},
+			memTier{s: s, live: s.snapLive, bags: s.snapBatch, isDeleted: isDeleted},
+			memTier{s: s, live: s.live, bags: s.pending, isDeleted: isDeleted},
+		)
 	}
-	if err != nil {
-		return nil, err
-	}
-	if docs := s.pending[w]; len(docs) > 0 {
-		indexed = postings.Union(indexed, postings.FromDocs(docs).Filter(isDeleted))
-	}
-	return indexed, nil
+	return query.NewTieredSource(
+		diskTier{s: s, get: s.index.GetList},
+		memTier{s: s, live: s.live, bags: s.pending, isDeleted: s.index.IsDeleted},
+	)
+}
+
+// list returns the full current list for a word string: the merge of every
+// read tier (see tiers), filtered of deleted docs. Called under s.mu.RLock,
+// from any number of goroutines.
+func (s *shard) list(word string) (*postings.List, error) {
+	return s.tiers().List(word)
 }
 
 // shardSource adapts a shard to the query package's Source interface.
@@ -386,7 +425,7 @@ func (s *shard) prefetchPlan(pl *query.Plan) (*query.Prefetched, error) {
 	if pl.NeedsDocs && s.docs == nil {
 		return nil, fmt.Errorf("dualindex: positional queries need Options.KeepDocuments")
 	}
-	return query.Prefetch(pl.Fetch, shardSource{s}, s.opts.Workers)
+	return query.Prefetch(pl.Fetch, s.tiers(), s.opts.Workers)
 }
 
 // execMatch runs a match-only plan against this shard and returns its
@@ -547,7 +586,11 @@ func (s *shard) tryRebalance(buckets, bucketSize int) error {
 func (s *shard) maintainSignals(i int) maintain.ShardSignals {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	sig := maintain.ShardSignals{Shard: i, PendingDocs: s.pendingDocs}
+	sig := maintain.ShardSignals{
+		Shard:           i,
+		PendingDocs:     s.pendingDocs,
+		PendingPostings: s.pendingPostings,
+	}
 	b := s.index.Buckets()
 	deleted := s.index.DeletedCount()
 	if s.snap != nil {
@@ -627,15 +670,27 @@ func (s *shard) diskOpCounts(d int) disk.DiskOps {
 	return s.index.Array().DiskOpCounts(d)
 }
 
-// verifyDocs is the document-text half of candidate verification (the
-// executor's VerifyFunc): it keeps the candidates whose stored positional
-// tokens satisfy check. Called under s.mu.RLock, from plan execution.
+// verifyDocs is the positional half of candidate verification (the
+// executor's VerifyFunc): it keeps the candidates whose positional tokens
+// satisfy check. A candidate still in the live tier verifies from the
+// tier's in-memory tokens — no document-store read, no re-tokenization —
+// which is what makes phrase, proximity and region conditions on unflushed
+// documents as cheap as boolean ones; everything else reads the document
+// store. Both paths apply the same tokenization, so a document verifies
+// identically before and after its flush. Called under s.mu.RLock, from
+// plan execution.
 func (s *shard) verifyDocs(candidates []DocID, check func([]lexer.Token) bool) ([]DocID, error) {
 	if s.docs == nil {
 		return nil, fmt.Errorf("dualindex: positional queries need Options.KeepDocuments")
 	}
 	var out []DocID
 	for _, d := range candidates {
+		if toks, ok := s.liveDocTokens(d); ok {
+			if check(toks) {
+				out = append(out, d)
+			}
+			continue
+		}
 		text, ok, err := s.docs.Get(d)
 		if err != nil {
 			return nil, err
@@ -648,6 +703,25 @@ func (s *shard) verifyDocs(candidates []DocID, check func([]lexer.Token) bool) (
 		}
 	}
 	return out, nil
+}
+
+// liveDocTokens looks a document's positional tokens up in the live tier
+// and, mid-flush, in the detached tier being applied (snapLive) — the same
+// publish/release pairing every tier read honors. ok is false when the
+// document is not in either (flushed, or the engine runs without
+// Options.LiveSearch). Called under s.mu.RLock.
+func (s *shard) liveDocTokens(d postings.DocID) ([]lexer.Token, bool) {
+	if s.live != nil {
+		if toks, ok := s.live.docTokens(d); ok {
+			return toks, true
+		}
+	}
+	if s.snapLive != nil {
+		if toks, ok := s.snapLive.docTokens(d); ok {
+			return toks, true
+		}
+	}
+	return nil, false
 }
 
 // maxDoc reports the largest document identifier this shard has seen — the

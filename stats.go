@@ -96,6 +96,14 @@ type Stats struct {
 	CodecRawBytes     int64
 	CodecEncodedBytes int64
 	CompressionRatio  float64
+	// PendingDocs and PendingPostings are the unflushed in-memory volume:
+	// documents added since the last flush and the postings they carry —
+	// the live tier's size when Options.LiveSearch is on, the pending bag
+	// map's otherwise (the two representations always agree). A flush
+	// drains them to zero; mid-flush, the batch being applied is no longer
+	// counted here.
+	PendingDocs     int
+	PendingPostings int64
 	// MaxBucketLoadFactor is the fullest shard's bucket load factor. The
 	// engine-wide BucketLoadFactor is a mean, and hash routing keeps the
 	// shards near it — but a hot shard can saturate (evicting short lists
@@ -151,6 +159,8 @@ func (s *shard) stats() Stats {
 	}
 	st.DocsIndexed = int64(s.docsIndexed)
 	st.DeadFraction = deadFraction(s.docsIndexed, st.Deleted)
+	st.PendingDocs = s.pendingDocs
+	st.PendingPostings = s.pendingPostings
 	if s.cache != nil {
 		cs := s.cache.Stats()
 		st.CacheHits = cs.Hits
@@ -193,6 +203,8 @@ func (e *Engine) Stats() Stats {
 		st.CodecEncodedBytes += ss.CodecEncodedBytes
 		st.Deleted += ss.Deleted
 		st.DocsIndexed += ss.DocsIndexed
+		st.PendingDocs += ss.PendingDocs
+		st.PendingPostings += ss.PendingPostings
 		st.CacheHits += ss.CacheHits
 		st.CacheMisses += ss.CacheMisses
 		st.CacheEvictions += ss.CacheEvictions
